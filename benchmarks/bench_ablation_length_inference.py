@@ -1,0 +1,78 @@
+"""Ablation A2 — path-length inference (Section 6.1).
+
+The query constrains paths through a positional reference
+(``PS.Edges[k..*]``) and an explicit ``PS.Length`` predicate. With
+inference on, the traversal stops extending at the inferred maximum and
+skips sub-minimum paths; with it off, the scan relies on a loose safety
+cap and a post-filter.
+
+Expected: inference wins, increasingly so as the cap exceeds the true
+length (unpruned deeper exploration is wasted work).
+"""
+
+from repro import PlannerOptions
+from repro.bench import format_table, time_call
+from repro.datasets import load_into_grfusion, road_network
+
+from .conftest import emit
+
+TRUE_LENGTH = 3
+LOOSE_CAPS = [4, 5, 6]
+
+
+def _query(view_name: str) -> str:
+    return (
+        f"SELECT COUNT(*) FROM {view_name}.Paths PS "
+        f"WHERE PS.Length = {TRUE_LENGTH} AND PS.Edges[2..*].esel < 60"
+    )
+
+
+def test_ablation_length_inference(benchmark):
+    dataset = road_network(width=11, height=11, seed=56)
+    db, view_name = load_into_grfusion(dataset)
+    sql = _query(view_name)
+
+    db.planner_options = PlannerOptions(infer_path_length=True)
+    inferred_count = db.execute(sql).scalar()
+    inferred = time_call(lambda: db.execute(sql), repeat=3)
+
+    rows = [
+        [
+            "inference on",
+            "-",
+            f"{inferred * 1000:.3f}",
+            "1.00x",
+            inferred_count,
+        ]
+    ]
+    for cap in LOOSE_CAPS:
+        db.planner_options = PlannerOptions(
+            infer_path_length=False, default_max_path_length=cap
+        )
+        loose_count = db.execute(sql).scalar()
+        assert loose_count == inferred_count, "inference changed the answer"
+        loose = time_call(lambda: db.execute(sql), repeat=3)
+        rows.append(
+            [
+                "inference off",
+                cap,
+                f"{loose * 1000:.3f}",
+                f"{loose / inferred:.2f}x",
+                loose_count,
+            ]
+        )
+    text = format_table(
+        ["configuration", "safety cap", "time (ms)", "vs inference", "paths"],
+        rows,
+        title=(
+            "Ablation A2: path-length inference (query true length "
+            f"{TRUE_LENGTH})"
+        ),
+    )
+    emit("ablation_length_inference", text)
+
+    # the loosest cap must be measurably slower than inference
+    assert float(rows[-1][2]) > float(rows[0][2])
+
+    db.planner_options = PlannerOptions(infer_path_length=True)
+    benchmark(lambda: db.execute(sql))

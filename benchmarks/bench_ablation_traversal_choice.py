@@ -1,0 +1,91 @@
+"""Ablation A3 — BFScan vs DFScan and the memory heuristic (Section 6.3).
+
+The paper selects BFS when ``F^L < F * L`` (queue vs stack growth, for
+average fan-out F and inferred length L). This target measures both
+physical operators on two regimes — a low-fan-out chain-like graph and a
+high-fan-out graph — reporting time and the *peak frontier size* the
+scans record, then checks the heuristic picks the memory-minimal one.
+"""
+
+from repro import Database
+from repro.bench import format_table
+from repro.bench.harness import time_call
+from repro.datasets import load_into_grfusion, protein_network, road_network
+from repro.graph import TraversalSpec, bfs_paths, choose_traversal, dfs_paths
+from repro.graph.traversal import TraversalStats
+
+from .conftest import emit
+
+LENGTH = 4
+
+
+def _measure(view, start_ids, mode):
+    spec = TraversalSpec(min_length=LENGTH, max_length=LENGTH)
+    stats = TraversalStats()
+    scan = dfs_paths if mode == "DFS" else bfs_paths
+    seconds = time_call(
+        lambda: sum(1 for _ in scan(view, start_ids, spec, TraversalStats()))
+    )
+    # separate pass for stats so timing isn't polluted
+    count = sum(1 for _ in scan(view, start_ids, spec, stats))
+    return seconds, stats.peak_frontier, count
+
+
+def test_ablation_traversal_choice(benchmark):
+    regimes = {
+        "low fan-out (road grid)": load_into_grfusion(
+            road_network(width=12, height=12, seed=57)
+        ),
+        "high fan-out (protein BA)": load_into_grfusion(
+            protein_network(n=220, attach=5, seed=58)
+        ),
+    }
+    rows = []
+    for regime, (db, view_name) in regimes.items():
+        view = db.graph_view(view_name)
+        start_ids = list(view.topology.vertices)[:12]
+        fan_out = view.average_fan_out()
+        chosen = choose_traversal(fan_out, LENGTH)
+        dfs_seconds, dfs_peak, dfs_count = _measure(view, start_ids, "DFS")
+        bfs_seconds, bfs_peak, bfs_count = _measure(view, start_ids, "BFS")
+        assert dfs_count == bfs_count, "DFS and BFS disagree on path count"
+        memory_minimal = "DFS" if dfs_peak <= bfs_peak else "BFS"
+        rows.append(
+            [
+                regime,
+                f"{fan_out:.2f}",
+                f"{dfs_seconds * 1000:.2f}",
+                dfs_peak,
+                f"{bfs_seconds * 1000:.2f}",
+                bfs_peak,
+                chosen,
+                memory_minimal,
+            ]
+        )
+        # F >= 1 on all our datasets, so the heuristic must pick DFS,
+        # and DFS must indeed hold the smaller frontier
+        assert chosen == memory_minimal
+
+    text = format_table(
+        [
+            "regime",
+            "avg fan-out",
+            "DFS (ms)",
+            "DFS peak",
+            "BFS (ms)",
+            "BFS peak",
+            "heuristic",
+            "memory-minimal",
+        ],
+        rows,
+        title=(
+            f"Ablation A3: physical traversal choice at length {LENGTH} "
+            "(peak = frontier entries held)"
+        ),
+    )
+    emit("ablation_traversal_choice", text)
+
+    db, view_name = regimes["low fan-out (road grid)"]
+    view = db.graph_view(view_name)
+    start_ids = list(view.topology.vertices)[:12]
+    benchmark(lambda: _measure(view, start_ids, "DFS"))

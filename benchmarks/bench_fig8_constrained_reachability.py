@@ -1,0 +1,149 @@
+"""Figure 8 (a-d) — constrained reachability under sub-graph selectivity.
+
+(Reconstructed experiment; the supplied paper text truncates before this
+figure, but Section 7.1 defines the workload: "For each dataset, we vary
+the selectivity of the queries from 5% to 50%" with relational
+predicates on the edges.)
+
+Every edge carries ``esel`` uniform in [0, 100); the predicate
+``esel < s`` selects an s% sub-graph *before* the traversal:
+
+* **grfusion** — ``PS.Edges[0..*].esel < s`` pushed into the PathScan
+  (Section 6.2);
+* **sqlgraph** — the same predicate on every join alias;
+* **neo4j_sim / titan_sim** — a per-relationship property filter (for
+  titan, each check deserializes the property payload — its documented
+  weakness on filtered traversals).
+
+Expected shape: GRFusion stays flat-to-decreasing as selectivity drops
+(fewer edges explored), SQLGraph gains less because every hop still
+scans/joins, titan_sim degrades relative to neo4j_sim because filters
+force property reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.bench import (
+    format_ascii_chart,
+    AdaptiveRunner,
+    Measurement,
+    format_series,
+    reachability_pairs,
+)
+from repro.bench.workloads import selectivity_edge_filter
+
+from .conftest import emit
+
+SELECTIVITIES = [5, 10, 20, 30, 50]
+PATH_LENGTH = 4
+QUERIES = 3
+BUDGET_SECONDS = 3.0
+
+SUBFIGURES = {
+    "road": "fig8a",
+    "protein": "fig8b",
+    "dblp": "fig8c",
+    "twitter": "fig8d",
+}
+
+
+@pytest.mark.parametrize("name", list(SUBFIGURES))
+def test_fig8_constrained_reachability(
+    name, benchmark, datasets, grfusion, sqlgraph, graphdbs
+):
+    dataset = datasets[name]
+    db, view_name = grfusion[name]
+    store = sqlgraph[name]
+    sims = graphdbs[name]
+    prepared = db.prepare(
+        f"SELECT PS.PathString FROM {view_name}.Paths PS "
+        "WHERE PS.StartVertex.Id = ? AND PS.EndVertex.Id = ? "
+        "AND PS.Edges[0..*].esel < ? LIMIT 1"
+    )
+    runner = AdaptiveRunner(BUDGET_SECONDS)
+    series: Dict[str, List[Tuple[int, Measurement]]] = {
+        "grfusion": [],
+        "sqlgraph": [],
+        "neo4j_sim": [],
+        "titan_sim": [],
+    }
+    for selectivity in SELECTIVITIES:
+        pairs = reachability_pairs(
+            dataset,
+            PATH_LENGTH,
+            QUERIES,
+            seed=80 + selectivity,
+            edge_filter=selectivity_edge_filter(selectivity),
+        )
+        if not pairs:
+            for system in series:
+                series[system].append(
+                    (selectivity, Measurement(None, "no pairs in subgraph"))
+                )
+            continue
+        predicate_sql = f"{{alias}}.esel < {selectivity}"
+
+        def sim_filter(rel, _s=selectivity):
+            return rel.get_property("esel") < _s
+
+        def grfusion_run():
+            for source, target in pairs:
+                assert prepared.execute(source, target, selectivity).rows
+
+        def sqlgraph_run():
+            for source, target in pairs:
+                assert store.reachable_at(
+                    source, target, PATH_LENGTH, predicate_sql
+                )
+
+        def neo4j_run():
+            for source, target in pairs:
+                assert sims["neo4j_sim"].reachability(
+                    source, target, edge_filter=sim_filter
+                )[0]
+
+        def titan_run():
+            for source, target in pairs:
+                assert sims["titan_sim"].reachability(
+                    source, target, edge_filter=sim_filter
+                )[0]
+
+        for system, fn in (
+            ("grfusion", grfusion_run),
+            ("sqlgraph", sqlgraph_run),
+            ("neo4j_sim", neo4j_run),
+            ("titan_sim", titan_run),
+        ):
+            measurement = runner.run(system, selectivity, fn)
+            if measurement.finished:
+                measurement = Measurement(measurement.seconds / len(pairs))
+            series[system].append((selectivity, measurement))
+
+    title = (
+        f"Figure 8 ({SUBFIGURES[name][-1]}): constrained reachability "
+        f"on {name} (path length {PATH_LENGTH}, avg per query)"
+    )
+    emit(
+        SUBFIGURES[name],
+        format_series(title, "selectivity %", series)
+        + "\n\n"
+        + format_ascii_chart(title, "selectivity %", series),
+    )
+
+    # headline: one constrained GRFusion query at 20% selectivity
+    pairs = reachability_pairs(
+        dataset,
+        PATH_LENGTH,
+        1,
+        seed=100,
+        edge_filter=selectivity_edge_filter(20),
+    )
+    if pairs:
+        source, target = pairs[0]
+        benchmark(lambda: prepared.execute(source, target, 20))
+    else:
+        benchmark(lambda: prepared.execute(0, 0, 20))

@@ -1,0 +1,62 @@
+"""Table 2 — dataset properties.
+
+Regenerates the paper's dataset-summary table for the synthetic
+analogues (the paper's real graphs are listed alongside for reference).
+"""
+
+from repro.bench import format_table
+from repro.datasets import load_into_grfusion, road_network
+
+from .conftest import emit
+
+# the paper's Table 2 (approximate published sizes, for side-by-side)
+PAPER_SIZES = {
+    "road": ("Tiger", "24.4M", "29.1M"),
+    "protein": ("String", "1.5M", "348M"),
+    "dblp": ("DBLP", "1.0M", "8.6M"),
+    "twitter": ("Twitter", "41.7M", "1.47B"),
+}
+
+
+def test_table2_dataset_properties(benchmark, datasets):
+    rows = []
+    for name, dataset in datasets.items():
+        paper_name, paper_v, paper_e = PAPER_SIZES[name]
+        rows.append(
+            [
+                name,
+                paper_name,
+                dataset.vertex_count,
+                dataset.edge_count,
+                f"{dataset.average_degree():.2f}",
+                "directed" if dataset.directed else "undirected",
+                f"{paper_v} / {paper_e}",
+            ]
+        )
+    text = format_table(
+        [
+            "dataset",
+            "paper analogue",
+            "|V|",
+            "|E|",
+            "avg deg",
+            "direction",
+            "paper |V| / |E|",
+        ],
+        rows,
+        title="Table 2: datasets (reproduction scale vs. paper scale)",
+    )
+    emit("table2_datasets", text)
+
+    # headline operation: generating the smallest dataset end to end
+    benchmark(lambda: road_network(width=8, height=8, seed=1))
+
+
+def test_table2_load_costs(benchmark, datasets):
+    """Loading a dataset into GRFusion (tables + graph view)."""
+    dataset = datasets["road"]
+
+    def load():
+        load_into_grfusion(dataset)
+
+    benchmark(load)

@@ -1,0 +1,98 @@
+"""Shared fixtures for the benchmark suite.
+
+Every paper table/figure has one module here. Each module:
+
+1. regenerates the table / figure series at reproduction scale and
+   writes it to ``benchmarks/results/<target>.txt`` (also printed when
+   pytest runs with ``-s``);
+2. benchmarks the headline operation through pytest-benchmark, so
+   ``pytest benchmarks/ --benchmark-only`` reports comparable timings.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (default 1.0 — sized so the
+whole suite finishes in minutes on a laptop; the paper's graphs are
+orders of magnitude larger, see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.baselines import neo4j_sim, titan_sim
+from repro.datasets import (
+    coauthorship_network,
+    follower_network,
+    load_into_grail,
+    load_into_grfusion,
+    load_into_property_graph,
+    load_into_sqlgraph,
+    protein_network,
+    road_network,
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def scaled(value: int, minimum: int = 40) -> int:
+    return max(minimum, int(value * SCALE))
+
+
+def build_datasets():
+    side = max(8, int(14 * SCALE**0.5))
+    return {
+        "road": road_network(width=side, height=side, seed=31),
+        "protein": protein_network(n=scaled(300), attach=3, seed=32),
+        "dblp": coauthorship_network(
+            n=scaled(320), communities=24, collaborators=3, seed=33
+        ),
+        "twitter": follower_network(n=scaled(500), out_degree=5, seed=34),
+    }
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    return build_datasets()
+
+
+@pytest.fixture(scope="session")
+def grfusion(datasets):
+    """{name: (Database, graph_view_name)}"""
+    systems = {}
+    for name, dataset in datasets.items():
+        systems[name] = load_into_grfusion(dataset)
+    return systems
+
+
+@pytest.fixture(scope="session")
+def sqlgraph(datasets):
+    return {name: load_into_sqlgraph(d) for name, d in datasets.items()}
+
+
+@pytest.fixture(scope="session")
+def grail(datasets):
+    return {name: load_into_grail(d) for name, d in datasets.items()}
+
+
+@pytest.fixture(scope="session")
+def graphdbs(datasets):
+    """{name: {"neo4j_sim": sim, "titan_sim": sim}}"""
+    systems = {}
+    for name, dataset in datasets.items():
+        graph = load_into_property_graph(dataset)
+        systems[name] = {
+            "neo4j_sim": neo4j_sim(graph),
+            "titan_sim": titan_sim(graph),
+        }
+    return systems
+
+
+def emit(target: str, text: str) -> None:
+    """Print a regenerated table/figure and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{target}.txt").write_text(text + "\n")
+    print()
+    print(text)

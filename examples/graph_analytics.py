@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Whole-graph analytics *inside* the database — no extraction.
+
+The Native Graph-Core approach (Figure 1b of the paper) must pull the
+graph out of the RDBMS before analyzing it, and the extract goes stale
+on every update. With graph views the algorithms run directly on the
+materialized topology and always see the current data.
+
+Shows: PageRank-based influencer ranking joined back to relational
+attributes, community detection via connected components over a
+*filtered* subgraph, clustering coefficients, and the whole pipeline
+surviving live updates.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro import Database
+from repro.datasets import follower_network, load_into_grfusion
+from repro.graph.algorithms import (
+    average_clustering,
+    connected_components,
+    degree_distribution,
+    estimate_diameter,
+    pagerank,
+    strongly_connected_components,
+)
+
+
+def main() -> None:
+    dataset = follower_network(n=500, out_degree=6, seed=2018)
+    db, view_name = load_into_grfusion(dataset)
+    view = db.graph_view(view_name)
+    print(f"follower graph: {view.topology}")
+
+    print()
+    print("== Top influencers: PageRank joined with relational data ==")
+    ranks = pagerank(view)
+    top = sorted(ranks.items(), key=lambda item: item[1], reverse=True)[:5]
+    lookup = db.prepare(
+        "SELECT vlabel FROM twitter_v WHERE vid = ?"
+    )
+    for vertex_id, rank in top:
+        label = lookup.execute(vertex_id).scalar()
+        fan_in = view.topology.vertex(vertex_id).fan_in
+        print(f"  {label:<10} rank={rank:.5f}  followers={fan_in}")
+
+    print()
+    print("== Structure ==")
+    components = connected_components(view)
+    sccs = strongly_connected_components(view)
+    print(f"  weakly connected components : {len(components)} "
+          f"(largest {len(components[0])})")
+    print(f"  strongly connected components: {len(sccs)} "
+          f"(largest {len(sccs[0])})")
+    print(f"  diameter (double-sweep bound): {estimate_diameter(view)}")
+    print(f"  avg clustering (sample 100)  : "
+          f"{average_clustering(view, sample=100):.4f}")
+
+    print()
+    print("== Degree distribution (top of the tail) ==")
+    histogram = degree_distribution(view)
+    for degree in sorted(histogram, reverse=True)[:5]:
+        print(f"  out-degree {degree:>3}: {histogram[degree]} vertex(es)")
+
+    print()
+    print("== Communities in the mutual-follow subgraph ==")
+    # only edges whose reverse edge exists: a Python-side filter built
+    # from the same topology
+    topology = view.topology
+    mutual_pairs = set()
+    for edge in topology.edges.values():
+        mutual_pairs.add((edge.from_id, edge.to_id))
+    def mutual(edge):
+        return (edge.to_id, edge.from_id) in mutual_pairs
+    communities = connected_components(view, edge_filter=mutual)
+    nontrivial = [c for c in communities if len(c) > 1]
+    print(f"  {len(nontrivial)} mutual-follow communities of size > 1; "
+          f"largest has {len(nontrivial[0]) if nontrivial else 0} members")
+
+    print()
+    print("== The analytics stay fresh under updates ==")
+    before = ranks[top[0][0]]
+    # a burst of new accounts following the top influencer
+    base = 10_000
+    for i in range(50):
+        db.execute(f"INSERT INTO twitter_v VALUES ({base + i}, 'bot{i}', 0)")
+        db.execute(
+            f"INSERT INTO twitter_e VALUES ({100_000 + i}, {base + i}, "
+            f"{top[0][0]}, 1.0, 'follows', 0)"
+        )
+    after = pagerank(view)[top[0][0]]
+    print(f"  top influencer rank: {before:.5f} -> {after:.5f} "
+          "(no re-extraction needed)")
+    assert after > before
+
+
+if __name__ == "__main__":
+    main()

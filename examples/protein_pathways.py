@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Protein-interaction analysis (the paper's biology motivation).
+
+Loads a synthetic String-like protein interaction network and runs the
+class of graph-relational queries the paper's introduction motivates:
+"finding related proteins retrieved by a relational subquery in a
+biological network".
+
+* Listing-3 reachability restricted to covalent/stable interactions;
+* interaction pathways between two protein *families* selected
+  relationally;
+* confidence-bounded pathway discovery via a path aggregate
+  (``SUM(PS.Edges.w)`` as a proxy for joint reliability);
+* hub analysis combining FanOut with relational annotations.
+
+Run:  python examples/protein_pathways.py
+"""
+
+import random
+
+from repro import Database
+from repro.datasets import protein_network
+
+FAMILIES = ["kinase", "ligase", "receptor", "transporter", "chaperone"]
+
+
+def build_database() -> Database:
+    dataset = protein_network(n=400, attach=4, seed=7)
+    rng = random.Random(7)
+    db = Database()
+    db.execute(
+        "CREATE TABLE proteins (pid INTEGER PRIMARY KEY, name VARCHAR, "
+        "family VARCHAR, essential BOOLEAN)"
+    )
+    db.execute(
+        "CREATE TABLE interactions (iid INTEGER PRIMARY KEY, p1 INTEGER, "
+        "p2 INTEGER, confidence FLOAT, itype VARCHAR)"
+    )
+    db.load_rows(
+        "proteins",
+        [
+            (vid, name, rng.choice(FAMILIES), rng.random() < 0.15)
+            for vid, name, _sel in dataset.vertices
+        ],
+    )
+    db.load_rows(
+        "interactions",
+        [
+            (eid, src, dst, w, label)
+            for eid, src, dst, w, label, _sel in dataset.edges
+        ],
+    )
+    db.execute(
+        "CREATE UNDIRECTED GRAPH VIEW BioNetwork "
+        "VERTEXES(ID = pid, name = name, family = family) FROM proteins "
+        "EDGES(ID = iid, FROM = p1, TO = p2, confidence = confidence, "
+        "itype = itype) FROM interactions"
+    )
+    return db
+
+
+def main() -> None:
+    db = build_database()
+
+    print("== Listing 3: does P00012 interact (directly or transitively) "
+          "with P00200 via covalent/stable bonds? ==")
+    result = db.execute(
+        "SELECT PS.PathString FROM proteins Pr1, proteins Pr2, "
+        "BioNetwork.Paths PS "
+        "WHERE Pr1.Name = 'P00012' AND Pr2.Name = 'P00200' "
+        "AND PS.StartVertex.Id = Pr1.pid AND PS.EndVertex.Id = Pr2.pid "
+        "AND PS.Edges[0..*].itype IN ('covalent', 'stable') LIMIT 1"
+    )
+    if result.rows:
+        print(f"  yes: {result.rows[0][0]}")
+    else:
+        print("  no covalent/stable pathway found")
+
+    print()
+    print("== Short pathways from essential kinases to receptors ==")
+    result = db.execute(
+        "SELECT src.name, dst.name, PS.Length "
+        "FROM proteins src, BioNetwork.Paths PS, proteins dst "
+        "WHERE src.family = 'kinase' AND src.essential = TRUE "
+        "AND PS.StartVertex.Id = src.pid AND PS.Length <= 2 "
+        "AND dst.pid = PS.EndVertex.Id AND dst.family = 'receptor' "
+        "ORDER BY PS.Length LIMIT 8"
+    )
+    for source, destination, length in result.rows:
+        print(f"  {source} -> {destination}  ({length} hop(s))")
+
+    print()
+    print("== High-reliability 2-hop pathways from protein 3 "
+          "(total confidence >= 1.5) ==")
+    result = db.execute(
+        "SELECT PS.PathString, SUM(PS.Edges.confidence) AS total "
+        "FROM BioNetwork.Paths PS "
+        "WHERE PS.StartVertex.Id = 3 AND PS.Length = 2 "
+        "AND SUM(PS.Edges.confidence) >= 1.5 "
+        "ORDER BY total DESC LIMIT 5"
+    )
+    for path_string, total in result.rows:
+        print(f"  {path_string}  (sum confidence {total:.2f})")
+
+    print()
+    print("== Hub proteins per family (FanOut joined with annotations) ==")
+    result = db.execute(
+        "SELECT p.family, MAX(VS.fanOut), AVG(VS.fanOut) "
+        "FROM proteins p, BioNetwork.Vertexes VS "
+        "WHERE VS.Id = p.pid GROUP BY p.family ORDER BY MAX(VS.fanOut) DESC"
+    )
+    print("  family       max-degree  avg-degree")
+    for family, top, average in result.rows:
+        print(f"  {family:<12} {top:>10}  {average:>9.2f}")
+
+    print()
+    print("== Triangle motifs among high-confidence interactions ==")
+    count = db.execute(
+        "SELECT COUNT(P) FROM BioNetwork.Paths P WHERE P.Length = 3 "
+        "AND P.Edges[0..*].confidence > 0.7 "
+        "AND P.StartVertexId = P.EndVertexId"
+    ).scalar()
+    print(f"  {count} closed 3-cycles (each triangle counted per rotation "
+          "and direction)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Social-network analytics: the paper's running example, end to end.
+
+Builds the Users/Relationships schema of Figure 3, declares the
+SocialNetwork graph view of Listing 1, and runs:
+
+* the friends-of-friends query of Listing 2 (with its relational
+  predicate on the vertex source and edge-date filter);
+* friend recommendations ("people you may know") as a 2-hop path query
+  excluding existing friends;
+* community statistics mixing GROUP BY with graph properties;
+* a prepared-statement mutual-connection check.
+
+Run:  python examples/social_network.py
+"""
+
+import random
+
+from repro import Database
+
+FIRST_NAMES = [
+    "Ava", "Ben", "Cleo", "Dan", "Eve", "Finn", "Gia", "Hugo",
+    "Iris", "Jon", "Kai", "Lena", "Milo", "Nina", "Omar", "Pia",
+]
+LAST_NAMES = [
+    "Smith", "Jones", "Parker", "Patrick", "Quincy", "Reyes", "Stone",
+    "Turner",
+]
+JOBS = ["Lawyer", "Doctor", "Engineer", "Teacher", "Chef"]
+
+
+def build_database(people: int = 40, friendships: int = 90) -> Database:
+    rng = random.Random(2018)
+    db = Database()
+    db.execute(
+        "CREATE TABLE Users (uId INTEGER PRIMARY KEY, fName VARCHAR, "
+        "lName VARCHAR, dob TIMESTAMP, job VARCHAR)"
+    )
+    db.execute(
+        "CREATE TABLE Relationships (relId INTEGER PRIMARY KEY, "
+        "uId INTEGER, uId2 INTEGER, startDate TIMESTAMP, "
+        "isRelative BOOLEAN)"
+    )
+    for uid in range(1, people + 1):
+        first = rng.choice(FIRST_NAMES)
+        last = rng.choice(LAST_NAMES)
+        year = rng.randint(1960, 2000)
+        job = rng.choice(JOBS)
+        db.execute(
+            f"INSERT INTO Users VALUES ({uid}, '{first}', '{last}', "
+            f"'{year}-06-15', '{job}')"
+        )
+    seen = set()
+    rel_id = 0
+    while rel_id < friendships:
+        a, b = rng.randint(1, people), rng.randint(1, people)
+        if a == b or (min(a, b), max(a, b)) in seen:
+            continue
+        seen.add((min(a, b), max(a, b)))
+        rel_id += 1
+        year = rng.randint(1995, 2020)
+        relative = rng.random() < 0.2
+        db.execute(
+            f"INSERT INTO Relationships VALUES ({rel_id}, {a}, {b}, "
+            f"'{year}-01-01', {relative})"
+        )
+    db.execute(
+        "CREATE UNDIRECTED GRAPH VIEW SocialNetwork "
+        "VERTEXES(ID = uId, lstName = lName, birthdate = dob) FROM Users "
+        "EDGES(ID = relId, FROM = uId, TO = uId2, sdate = startDate, "
+        "relative = isRelative) FROM Relationships"
+    )
+    return db
+
+
+def main() -> None:
+    db = build_database()
+
+    print("== Listing 2: friends of friends of all lawyers "
+          "(relationships after 1/1/2000) ==")
+    result = db.execute(
+        "SELECT U.fName, U.lName, PS.EndVertex.lstName "
+        "FROM Users U, SocialNetwork.Paths PS "
+        "WHERE U.Job = 'Lawyer' AND PS.StartVertex.Id = U.uId "
+        "AND PS.Length = 2 AND PS.Edges[0..*].sdate > '1/1/2000'"
+    )
+    for row in result.rows[:8]:
+        print(f"  lawyer {row[0]} {row[1]} -> friend-of-friend {row[2]}")
+    print(f"  ... {len(result)} pairs total")
+
+    print()
+    print("== People user 1 may know (2 hops away, not already friends) ==")
+    result = db.execute(
+        "SELECT DISTINCT U2.fName, U2.lName FROM SocialNetwork.Paths PS, "
+        "Users U2 "
+        "WHERE PS.StartVertex.Id = 1 AND PS.Length = 2 "
+        "AND U2.uId = PS.EndVertex.Id AND U2.uId <> 1 "
+        "AND U2.uId NOT IN "
+        "(SELECT E.To FROM SocialNetwork.Edges E WHERE E.From = 1) "
+        "AND U2.uId NOT IN "
+        "(SELECT E.From FROM SocialNetwork.Edges E WHERE E.To = 1)"
+    )
+    for row in result.rows:
+        print(f"  {row[0]} {row[1]}")
+
+    print()
+    print("== Most connected users (graph property + relational join) ==")
+    result = db.execute(
+        "SELECT U.fName, U.lName, VS.fanOut FROM Users U, "
+        "SocialNetwork.Vertexes VS "
+        "WHERE VS.Id = U.uId ORDER BY VS.fanOut DESC LIMIT 5"
+    )
+    for row in result.rows:
+        print(f"  {row[0]} {row[1]}: {row[2]} connections")
+
+    print()
+    print("== Average connections per job (mixed-model GROUP BY) ==")
+    result = db.execute(
+        "SELECT U.job, AVG(VS.fanOut) FROM Users U, "
+        "SocialNetwork.Vertexes VS WHERE VS.Id = U.uId "
+        "GROUP BY U.job ORDER BY AVG(VS.fanOut) DESC"
+    )
+    for job, average in result.rows:
+        print(f"  {job}: {average:.2f}")
+
+    print()
+    print("== Prepared statement: are two users within 3 hops? ==")
+    reach = db.prepare(
+        "SELECT PS.PathString FROM SocialNetwork.Paths PS "
+        "WHERE PS.StartVertex.Id = ? AND PS.EndVertex.Id = ? "
+        "AND PS.Length <= 3 LIMIT 1"
+    )
+    for a, b in [(1, 2), (1, 17), (3, 30)]:
+        rows = reach.execute(a, b).rows
+        verdict = rows[0][0] if rows else "no path within 3 hops"
+        print(f"  {a} ~ {b}: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

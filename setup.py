@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 660 editable installs (which build a wheel) fail. ``pip install -e .
+--no-build-isolation`` falls back to this setup.py via
+``--use-pep517=false`` / ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

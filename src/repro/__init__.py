@@ -1,0 +1,72 @@
+"""repro — a reproduction of GRFusion (EDBT 2018).
+
+*Extending In-Memory Relational Database Engines with Native Graph
+Support*, Hassan, Kuznetsova, Jeong, Aref, Sadoghi.
+
+The package is a self-contained in-memory relational database engine
+(a VoltDB-like substrate built from scratch) whose SQL dialect and query
+engine are extended with the paper's contribution: **graph views** as
+first-class database objects, the **PATHS** query construct, and graph
+traversal operators that compose with relational operators in a single
+cross-data-model query execution pipeline.
+
+Quick start::
+
+    from repro import Database
+
+    db = Database()
+    db.execute("CREATE TABLE V (id INTEGER PRIMARY KEY, name VARCHAR)")
+    db.execute("CREATE TABLE E (id INTEGER PRIMARY KEY, "
+               "src INTEGER, dst INTEGER, w FLOAT)")
+    ...
+    db.execute("CREATE DIRECTED GRAPH VIEW G "
+               "VERTEXES(ID = id, name = name) FROM V "
+               "EDGES(ID = id, FROM = src, TO = dst, w = w) FROM E")
+    result = db.execute(
+        "SELECT PS.PathString FROM G.Paths PS "
+        "WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 9 LIMIT 1")
+
+Sub-packages: :mod:`repro.core` (façade), :mod:`repro.storage`,
+:mod:`repro.sql`, :mod:`repro.expr`, :mod:`repro.planner`,
+:mod:`repro.executor`, :mod:`repro.txn`, :mod:`repro.graph` (the
+contribution), :mod:`repro.baselines` (SQLGraph / Grail / graph-DB
+comparators), :mod:`repro.datasets`, :mod:`repro.bench`.
+"""
+
+from .core.database import Database, PreparedQuery
+from .core.result import ResultSet
+from .errors import (
+    CatalogError,
+    ConstraintViolation,
+    DatabaseError,
+    ExecutionError,
+    GraphViewError,
+    IntegrityError,
+    PlanningError,
+    SqlSyntaxError,
+    TransactionError,
+    TypeMismatchError,
+)
+from .planner.options import PlannerOptions
+from .types import SqlType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "PreparedQuery",
+    "ResultSet",
+    "PlannerOptions",
+    "SqlType",
+    "DatabaseError",
+    "SqlSyntaxError",
+    "CatalogError",
+    "PlanningError",
+    "ExecutionError",
+    "TypeMismatchError",
+    "ConstraintViolation",
+    "IntegrityError",
+    "TransactionError",
+    "GraphViewError",
+    "__version__",
+]

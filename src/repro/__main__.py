@@ -1,0 +1,6 @@
+"""``python -m repro`` starts the interactive SQL shell."""
+
+from .shell import main
+
+if __name__ == "__main__":
+    main()

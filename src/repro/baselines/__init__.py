@@ -1,0 +1,28 @@
+"""Baseline systems the paper compares against (Section 7).
+
+* :mod:`repro.baselines.sqlgraph` — **SQLGraph** [46], the Native
+  Relational-Core representative: the graph lives in relational tables
+  and every traversal hop is a relational self-join.
+* :mod:`repro.baselines.grail` — **Grail** [25]: graph queries compiled
+  to iterative (frontier-table) SQL scripts run by a driver.
+* :mod:`repro.baselines.graphdb` — the Native Graph-Core representatives:
+  a standalone property-graph database with overhead profiles emulating
+  **Neo4j** and **Titan**, plus the extract-from-RDBMS pipeline.
+
+All three run against the same engine / process as GRFusion, mirroring
+the paper's setup where every baseline was configured to run in memory.
+"""
+
+from .sqlgraph import SqlGraphStore
+from .grail import GrailEngine
+from .graphdb import PropertyGraph, GraphDatabaseSim, neo4j_sim, titan_sim, extract_property_graph
+
+__all__ = [
+    "SqlGraphStore",
+    "GrailEngine",
+    "PropertyGraph",
+    "GraphDatabaseSim",
+    "neo4j_sim",
+    "titan_sim",
+    "extract_property_graph",
+]

@@ -1,0 +1,37 @@
+"""Benchmark harness (system S13): workload generation, timing with
+DNF budgets, and paper-style table/series reporting."""
+
+from .workloads import (
+    adjacency_of,
+    bfs_distances,
+    reachability_pairs,
+    connected_pairs,
+    selectivity_predicate_sql,
+    selectivity_edge_filter,
+)
+from .harness import AdaptiveRunner, Measurement, sweep, time_call
+from .reporting import (
+    format_table,
+    format_series,
+    format_ascii_chart,
+    print_series,
+    speedup,
+)
+
+__all__ = [
+    "adjacency_of",
+    "bfs_distances",
+    "reachability_pairs",
+    "connected_pairs",
+    "selectivity_predicate_sql",
+    "selectivity_edge_filter",
+    "AdaptiveRunner",
+    "Measurement",
+    "sweep",
+    "time_call",
+    "format_table",
+    "format_series",
+    "format_ascii_chart",
+    "print_series",
+    "speedup",
+]

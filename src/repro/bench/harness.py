@@ -1,0 +1,105 @@
+"""Timing helpers with DNF (did-not-finish) budgets.
+
+The paper reports that SQLGraph cannot execute deep traversals on the
+Twitter graph (intermediate join results exceed memory, Section 7.2).
+In-process we cannot preempt a running query, so the harness uses an
+*adaptive* protocol instead: each (system, parameter) cell gets a time
+budget, and once a system busts its budget at some parameter value it is
+not run at larger values of the sweep (join blow-up is monotone in
+depth) — those cells are reported as DNF, like the paper's time-outs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+def time_call(fn: Callable[[], Any], repeat: int = 1) -> float:
+    """Average wall-clock seconds of ``fn`` over ``repeat`` calls."""
+    if repeat < 1:
+        raise ValueError("repeat must be positive")
+    start = time.perf_counter()
+    for _ in range(repeat):
+        fn()
+    return (time.perf_counter() - start) / repeat
+
+
+class Measurement:
+    """One cell of a sweep: seconds, or DNF with a reason."""
+
+    __slots__ = ("seconds", "dnf_reason")
+
+    def __init__(self, seconds: Optional[float], dnf_reason: Optional[str] = None):
+        self.seconds = seconds
+        self.dnf_reason = dnf_reason
+
+    @property
+    def finished(self) -> bool:
+        return self.seconds is not None
+
+    def milliseconds(self) -> Optional[float]:
+        return None if self.seconds is None else self.seconds * 1000.0
+
+    def __repr__(self) -> str:
+        if self.seconds is None:
+            return f"Measurement(DNF: {self.dnf_reason})"
+        return f"Measurement({self.seconds * 1000:.3f} ms)"
+
+
+class AdaptiveRunner:
+    """Runs one system across a monotone parameter sweep with a budget.
+
+    ``budget_seconds`` bounds a single cell; after the first bust the
+    system is skipped for the rest of the sweep.
+    """
+
+    def __init__(self, budget_seconds: float = 5.0):
+        self.budget_seconds = budget_seconds
+        self._busted: Dict[str, Any] = {}
+
+    def run(
+        self,
+        system: str,
+        parameter: Any,
+        fn: Callable[[], Any],
+        repeat: int = 1,
+    ) -> Measurement:
+        if system in self._busted:
+            return Measurement(
+                None,
+                f"skipped beyond {self._busted[system]} (budget exceeded)",
+            )
+        elapsed = time_call(fn, repeat)
+        if elapsed * repeat > self.budget_seconds:
+            self._busted[system] = parameter
+            if elapsed > self.budget_seconds:
+                return Measurement(
+                    None, f"exceeded {self.budget_seconds:.1f}s budget"
+                )
+        return Measurement(elapsed)
+
+    def busted(self, system: str) -> bool:
+        return system in self._busted
+
+
+def sweep(
+    systems: Dict[str, Callable[[Any], Callable[[], Any]]],
+    parameters: List[Any],
+    budget_seconds: float = 5.0,
+    repeat: int = 1,
+) -> Dict[str, List[Tuple[Any, Measurement]]]:
+    """Run every system at every parameter (adaptive skipping).
+
+    ``systems`` maps a system name to a factory: ``factory(parameter)``
+    returns the zero-argument callable to time.
+    """
+    runner = AdaptiveRunner(budget_seconds)
+    results: Dict[str, List[Tuple[Any, Measurement]]] = {
+        name: [] for name in systems
+    }
+    for parameter in parameters:
+        for name, factory in systems.items():
+            measurement = runner.run(name, parameter, factory(parameter), repeat)
+            results[name].append((parameter, measurement))
+    return results

@@ -1,0 +1,150 @@
+"""Plain-text rendering of benchmark tables and figure series.
+
+Each benchmark target prints the same rows/series the paper's table or
+figure reports, with DNF cells where a system did not finish (matching
+the paper's handling of SQLGraph on the Twitter graph).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .harness import Measurement
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    cells = [[_text(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(value.rjust(widths[i]) for i, value in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: Dict[str, List[Tuple[Any, Measurement]]],
+    unit: str = "ms",
+) -> str:
+    """A figure rendered as one row per x value, one column per system."""
+    system_names = list(series.keys())
+    x_values: List[Any] = []
+    for measurements in series.values():
+        for x, _m in measurements:
+            if x not in x_values:
+                x_values.append(x)
+    by_system: Dict[str, Dict[Any, Measurement]] = {
+        name: dict(points) for name, points in series.items()
+    }
+    headers = [x_label] + [f"{name} ({unit})" for name in system_names]
+    rows = []
+    for x in x_values:
+        row: List[Any] = [x]
+        for name in system_names:
+            measurement = by_system[name].get(x)
+            if measurement is None or not measurement.finished:
+                row.append("DNF")
+            else:
+                row.append(f"{measurement.milliseconds():.3f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def print_series(
+    title: str,
+    x_label: str,
+    series: Dict[str, List[Tuple[Any, Measurement]]],
+    unit: str = "ms",
+) -> None:
+    print()
+    print(format_series(title, x_label, series, unit))
+
+
+def format_ascii_chart(
+    title: str,
+    x_label: str,
+    series: Dict[str, List[Tuple[Any, Measurement]]],
+    width: int = 48,
+    log_scale: bool = True,
+) -> str:
+    """Render a figure as horizontal bars (log scale by default).
+
+    One block per x value, one bar per system — a terminal-friendly
+    stand-in for the paper's log-scale bar charts.
+    """
+    import math
+
+    finished = [
+        m.milliseconds()
+        for points in series.values()
+        for _x, m in points
+        if m.finished and m.milliseconds() > 0
+    ]
+    if not finished:
+        return f"{title}\n(no finished measurements)"
+    low, high = min(finished), max(finished)
+
+    def bar_length(value: float) -> int:
+        if high == low:
+            return width
+        if log_scale:
+            span = math.log10(high) - math.log10(low)
+            fraction = (math.log10(value) - math.log10(low)) / span
+        else:
+            fraction = (value - low) / (high - low)
+        return max(1, int(round(fraction * width)))
+
+    name_width = max(len(name) for name in series)
+    x_values: List[Any] = []
+    for points in series.values():
+        for x, _m in points:
+            if x not in x_values:
+                x_values.append(x)
+    by_system = {name: dict(points) for name, points in series.items()}
+    scale_note = "log scale" if log_scale else "linear"
+    lines = [f"{title}  ({scale_note}, ms)"]
+    for x in x_values:
+        lines.append(f"{x_label} = {x}")
+        for name in series:
+            measurement = by_system[name].get(x)
+            if measurement is None or not measurement.finished:
+                lines.append(f"  {name.ljust(name_width)}  DNF")
+                continue
+            value = measurement.milliseconds()
+            bar = "#" * bar_length(max(value, low))
+            lines.append(
+                f"  {name.ljust(name_width)}  {value:>10.3f}  {bar}"
+            )
+    return "\n".join(lines)
+
+
+def speedup(
+    baseline: Measurement, contender: Measurement
+) -> Optional[float]:
+    """How many times faster ``contender`` is than ``baseline``."""
+    if not (baseline.finished and contender.finished):
+        return None
+    if contender.seconds == 0:
+        return float("inf")
+    return baseline.seconds / contender.seconds
+
+
+def _text(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,122 @@
+"""Workload generators for the evaluation (Section 7.1-7.2).
+
+The paper generates "random reachability queries with different path
+lengths that make the query endpoints connected" — pairs whose
+hop-distance equals the requested length — and sub-graph selectivity
+workloads where edge predicates retain 5%-50% of the edges.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..datasets.generators import GraphDataset
+
+
+def adjacency_of(
+    dataset: GraphDataset,
+    edge_filter: Optional[Callable[[tuple], bool]] = None,
+) -> Dict[Any, List[Any]]:
+    """Adjacency lists of a dataset (optionally over a filtered subgraph)."""
+    adjacency: Dict[Any, List[Any]] = {vid: [] for vid, _l, _s in dataset.vertices}
+    for edge in dataset.edges:
+        if edge_filter is not None and not edge_filter(edge):
+            continue
+        _eid, src, dst = edge[0], edge[1], edge[2]
+        adjacency[src].append(dst)
+        if not dataset.directed:
+            adjacency[dst].append(src)
+    return adjacency
+
+
+def bfs_distances(
+    adjacency: Dict[Any, List[Any]], source: Any, max_depth: Optional[int] = None
+) -> Dict[Any, int]:
+    """Hop distances from ``source`` (bounded by ``max_depth``)."""
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        depth = distances[vertex]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for neighbor in adjacency.get(vertex, ()):
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                queue.append(neighbor)
+    return distances
+
+
+def reachability_pairs(
+    dataset: GraphDataset,
+    path_length: int,
+    count: int,
+    seed: int = 99,
+    edge_filter: Optional[Callable[[tuple], bool]] = None,
+    max_sources: int = 400,
+) -> List[Tuple[Any, Any]]:
+    """``count`` random ``(src, dst)`` pairs at hop-distance exactly
+    ``path_length`` (over the filtered subgraph when a filter is given).
+
+    Returns fewer pairs when the graph does not contain enough — the
+    caller should check.
+    """
+    rng = random.Random(seed)
+    adjacency = adjacency_of(dataset, edge_filter)
+    vertex_ids = [vid for vid, _l, _s in dataset.vertices]
+    rng.shuffle(vertex_ids)
+    pairs: List[Tuple[Any, Any]] = []
+    for source in vertex_ids[:max_sources]:
+        distances = bfs_distances(adjacency, source, max_depth=path_length)
+        at_depth = [v for v, d in distances.items() if d == path_length]
+        if not at_depth:
+            continue
+        pairs.append((source, rng.choice(at_depth)))
+        if len(pairs) >= count:
+            break
+    return pairs
+
+
+def connected_pairs(
+    dataset: GraphDataset,
+    count: int,
+    seed: int = 101,
+    min_distance: int = 2,
+    max_distance: int = 12,
+) -> List[Tuple[Any, Any]]:
+    """Random connected pairs with hop distance in the given band
+    (the shortest-path workload of Figure 9)."""
+    rng = random.Random(seed)
+    adjacency = adjacency_of(dataset)
+    vertex_ids = [vid for vid, _l, _s in dataset.vertices]
+    rng.shuffle(vertex_ids)
+    pairs: List[Tuple[Any, Any]] = []
+    for source in vertex_ids:
+        distances = bfs_distances(adjacency, source, max_depth=max_distance)
+        candidates = [
+            v for v, d in distances.items() if min_distance <= d <= max_distance
+        ]
+        if not candidates:
+            continue
+        pairs.append((source, rng.choice(candidates)))
+        if len(pairs) >= count:
+            break
+    return pairs
+
+
+def selectivity_predicate_sql(alias_template: str, selectivity: int) -> str:
+    """SQL predicate template retaining ~``selectivity``% of the edges.
+
+    ``alias_template`` is used verbatim by the SQLGraph store:
+    ``selectivity_predicate_sql("{alias}.esel", 20)`` ->
+    ``"{alias}.esel < 20"``.
+    """
+    return f"{alias_template} < {selectivity}"
+
+
+def selectivity_edge_filter(selectivity: int) -> Callable[[tuple], bool]:
+    """Python-side filter matching :func:`selectivity_predicate_sql`
+    over dataset edge rows ``(eid, src, dst, w, elabel, esel)``."""
+    return lambda edge: edge[5] < selectivity

@@ -1,0 +1,11 @@
+"""GRFusion database façade (system S8).
+
+:class:`~repro.core.database.Database` is the public entry point: an
+in-memory relational engine whose SQL dialect includes the paper's graph
+extensions. See README for a tour.
+"""
+
+from .database import Database, PreparedQuery
+from .result import ResultSet
+
+__all__ = ["Database", "PreparedQuery", "ResultSet"]

@@ -1,0 +1,710 @@
+"""The GRFusion database façade.
+
+One :class:`Database` instance is one in-memory database: tables,
+materialized views, graph views, and a SQL interface covering the
+paper's dialect::
+
+    db = Database()
+    db.execute("CREATE TABLE Users (uId INTEGER PRIMARY KEY, lName VARCHAR)")
+    db.execute("CREATE TABLE Rel (relId INTEGER PRIMARY KEY, "
+               "uId INTEGER, uId2 INTEGER, sDate INTEGER)")
+    db.execute(
+        "CREATE UNDIRECTED GRAPH VIEW SocialNetwork "
+        "VERTEXES(ID = uId, lstName = lName) FROM Users "
+        "EDGES(ID = relId, FROM = uId, TO = uId2, sdate = sDate) FROM Rel")
+    db.execute("SELECT PS.EndVertex.lstName FROM Users U, "
+               "SocialNetwork.Paths PS "
+               "WHERE PS.StartVertex.Id = U.uId AND PS.Length = 2")
+
+Statements run in an implicit transaction unless one was opened with
+:meth:`Database.begin`; on error all effects (including graph-view
+topology changes) are rolled back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import (
+    CatalogError,
+    DatabaseError,
+    ExecutionError,
+    PlanningError,
+)
+from ..expr.compile import ExpressionCompiler
+from ..expr.scope import RelationBinding, Scope
+from ..graph.graph_view import GraphView, build_graph_view
+from ..planner.options import PlannerOptions
+from ..planner.rewrite import find_relational_aggregates
+from ..planner.select_planner import PlannedQuery, SelectPlanner
+from ..sql import ast, parse_script, parse_statement
+from ..storage.catalog import Catalog
+from ..storage.index import HashIndex, OrderedIndex
+from ..storage.schema import Column, TableSchema
+from ..storage.table import Table
+from ..txn.transactions import TransactionManager, UndoListener
+from ..types import SqlType
+from .result import ResultSet
+from .views import MaterializedView
+
+
+class Database:
+    """An in-memory relational database with native graph views."""
+
+    def __init__(self, planner_options: Optional[PlannerOptions] = None):
+        self.catalog = Catalog()
+        self.transactions = TransactionManager()
+        self.planner_options = planner_options or PlannerOptions()
+        self._undo_listener = UndoListener(self.transactions)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> ResultSet:
+        """Parse and run one SQL statement."""
+        return self._execute_statement(parse_statement(sql))
+
+    def execute_script(self, sql: str) -> List[ResultSet]:
+        """Run a ``;``-separated sequence of statements."""
+        return [self._execute_statement(s) for s in parse_script(sql)]
+
+    def prepare(self, sql: str) -> "PreparedQuery":
+        """Plan a parameterized SELECT once; execute it many times.
+
+        ``?`` placeholders bind positionally::
+
+            reach = db.prepare(
+                "SELECT PS.PathString FROM G.Paths PS "
+                "WHERE PS.StartVertex.Id = ? AND PS.EndVertex.Id = ? "
+                "LIMIT 1")
+            reach.execute(1, 9)
+
+        This is the VoltDB stored-procedure execution model the paper's
+        measurements assume: parsing and planning are paid once, not per
+        query.
+        """
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            raise PlanningError("only SELECT statements can be prepared")
+        return PreparedQuery(self, statement)
+
+    def stream(self, sql: str):
+        """Execute a SELECT and yield result rows lazily.
+
+        Unlike :meth:`execute`, nothing is materialized: rows are pulled
+        through the operator pipeline on demand, so a consumer that
+        stops early (or a query over a huge path enumeration) only pays
+        for what it reads. The row layout matches ``execute(...).rows``.
+        """
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            raise PlanningError("stream() only supports SELECT statements")
+        planned = self._plan_select(statement)
+        for row in planned.operator:
+            yield tuple(row)
+
+    def explain(self, sql: str) -> str:
+        """The physical plan of a SELECT, one operator per line."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            raise PlanningError("EXPLAIN is only supported for SELECT")
+        return self._plan_select(statement).explain()
+
+    def begin(self) -> None:
+        """Open an explicit transaction."""
+        self.transactions.begin()
+
+    def commit(self) -> None:
+        self.transactions.commit()
+
+    def rollback(self) -> None:
+        self.transactions.rollback()
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def graph_view(self, name: str) -> GraphView:
+        return self.catalog.graph_view(name)
+
+    def analyze(self) -> Dict[str, Dict[str, Any]]:
+        """Refresh catalog statistics (the paper's Section-6.3 backend
+        thread, run on demand): per-table row counts and per-graph-view
+        fan-out statistics used by the traversal-choice heuristic.
+
+        Returns the statistics dictionary (also stored in
+        ``catalog.statistics``).
+        """
+        statistics: Dict[str, Dict[str, Any]] = {}
+        for table in self.catalog.tables():
+            statistics[table.name] = {"row_count": table.row_count}
+        for view in self.catalog.graph_views():
+            view._invalidate_statistics()
+            histogram = view.topology.degree_histogram()
+            statistics[view.name] = {
+                "vertex_count": view.topology.vertex_count,
+                "edge_count": view.topology.edge_count,
+                "average_fan_out": view.average_fan_out(),
+                "max_fan_out": max(histogram) if histogram else 0,
+                "topology_bytes": view.topology.memory_estimate_bytes(),
+            }
+        self.catalog.statistics = statistics
+        return statistics
+
+    def save_snapshot(self, path: str) -> None:
+        """Persist the whole database (schema + data + graph views) to
+        a JSON snapshot file; restore with :meth:`load_snapshot`."""
+        from .snapshot import save_snapshot
+
+        save_snapshot(self, path)
+
+    @classmethod
+    def load_snapshot(cls, path: str) -> "Database":
+        """Rebuild a database from a snapshot file."""
+        from .snapshot import load_snapshot
+
+        return load_snapshot(path, cls())
+
+    def load_rows(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-insert pre-built rows (bypasses SQL parsing, still fires
+        all constraint / index / graph-view maintenance)."""
+        table = self._resolve_writable_table(table_name)
+        count = 0
+        for row in rows:
+            table.insert(row)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # statement dispatch
+    # ------------------------------------------------------------------
+
+    def _execute_statement(self, statement: ast.Statement) -> ResultSet:
+        if isinstance(statement, ast.Select):
+            return self._plan_and_run_select(statement)
+        if isinstance(statement, ast.SetOperation):
+            return self._execute_set_operation(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.CreateIndex):
+            return self._execute_create_index(statement)
+        if isinstance(statement, ast.CreateView):
+            return self._execute_create_view(statement)
+        if isinstance(statement, ast.CreateGraphView):
+            return self._execute_create_graph_view(statement)
+        if isinstance(statement, ast.AlterGraphViewAddSource):
+            return self._execute_alter_graph_view(statement)
+        if isinstance(statement, ast.Drop):
+            return self._execute_drop(statement)
+        if isinstance(statement, ast.Insert):
+            return self._in_transaction(self._execute_insert, statement)
+        if isinstance(statement, ast.Update):
+            return self._in_transaction(self._execute_update, statement)
+        if isinstance(statement, ast.Delete):
+            return self._in_transaction(self._execute_delete, statement)
+        if isinstance(statement, ast.Truncate):
+            return self._in_transaction(self._execute_truncate, statement)
+        raise PlanningError(
+            f"unsupported statement: {type(statement).__name__}"
+        )
+
+    def _in_transaction(self, handler, statement) -> ResultSet:
+        """Run a DML handler inside the active or an implicit transaction."""
+        if self.transactions.in_transaction:
+            return handler(statement)
+        self.transactions.begin()
+        try:
+            result = handler(statement)
+        except BaseException:
+            self.transactions.rollback()
+            raise
+        self.transactions.commit()
+        return result
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def _make_planner(self) -> SelectPlanner:
+        return SelectPlanner(
+            self.catalog,
+            self.planner_options,
+            subquery_executor=lambda sub: self._plan_and_run_select(sub).rows,
+        )
+
+    def _plan_select(self, select: ast.Select) -> PlannedQuery:
+        return self._make_planner().plan(select)
+
+    def _materialize_subqueries(
+        self, expression: Optional[ast.Expression]
+    ) -> Optional[ast.Expression]:
+        """Evaluate uncorrelated subqueries in a DML expression."""
+        if expression is None:
+            return None
+        return self._make_planner()._materialize_subqueries(expression)
+
+    def _plan_and_run_select(self, select: ast.Select) -> ResultSet:
+        planned = self._plan_select(select)
+        rows = [tuple(row) for row in planned.operator]
+        return ResultSet(planned.column_names, rows)
+
+    def _execute_set_operation(self, statement: ast.SetOperation) -> ResultSet:
+        """``UNION [ALL]``: concatenation with optional deduplication.
+        Column names come from the leftmost SELECT (SQL convention)."""
+        left = self._execute_statement(statement.left)
+        right = self._execute_statement(statement.right)
+        if len(left.columns) != len(right.columns):
+            raise ExecutionError(
+                "UNION operands must have the same number of columns "
+                f"({len(left.columns)} vs {len(right.columns)})"
+            )
+        rows = list(left.rows) + list(right.rows)
+        if not statement.all_rows:
+            seen = set()
+            deduped = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    deduped.append(row)
+            rows = deduped
+        return ResultSet(left.columns, rows)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def _execute_create_table(self, statement: ast.CreateTable) -> ResultSet:
+        columns = [
+            Column(
+                definition.name,
+                SqlType.from_name(definition.type_name),
+                nullable=not definition.not_null,
+                primary_key=definition.primary_key,
+            )
+            for definition in statement.columns
+        ]
+        table = self.catalog.create_table(statement.name, TableSchema(columns))
+        table.add_listener(self._undo_listener)
+        return ResultSet()
+
+    def _execute_create_index(self, statement: ast.CreateIndex) -> ResultSet:
+        table = self._resolve_writable_table(statement.table)
+        index = HashIndex(
+            statement.name, table.schema, statement.columns, statement.unique
+        )
+        table.attach_index(index)
+        self.catalog.register_index(statement.name, statement.table)
+        return ResultSet()
+
+    def create_ordered_index(
+        self, name: str, table_name: str, columns: Sequence[str], unique=False
+    ) -> None:
+        """Programmatic API for a range-capable (ordered) index."""
+        table = self._resolve_writable_table(table_name)
+        index = OrderedIndex(name, table.schema, columns, unique)
+        table.attach_index(index)
+        self.catalog.register_index(name, table_name)
+
+    def _execute_create_view(self, statement: ast.CreateView) -> ResultSet:
+        query = statement.query
+        planned = self._plan_select(query)
+        schema = self._infer_view_schema(query, planned)
+        backing = self.catalog.create_table(statement.name, schema)
+        backing.add_listener(self._undo_listener)
+        incremental = self._incremental_view_parts(query)
+        if incremental is not None:
+            source, predicate, projections = incremental
+            view = MaterializedView(statement.name, query, backing, [source])
+            view.attach_incremental(source, predicate, projections)
+        else:
+            sources = self._view_source_tables(query)
+            view = MaterializedView(statement.name, query, backing, sources)
+            for row in self._plan_and_run_select(query).rows:
+                backing.insert(row)
+            view.attach_full_refresh(
+                lambda: self._plan_and_run_select(query).rows
+            )
+        # register after the backing table so the name maps to the view
+        self.catalog.drop_table(statement.name)
+        self.catalog.register_view(statement.name, view)
+        return ResultSet()
+
+    def _infer_view_schema(
+        self, query: ast.Select, planned: PlannedQuery
+    ) -> TableSchema:
+        """Column names from the plan; types copied from plain column
+        references, ANY (no coercion) for computed expressions."""
+        types: List[SqlType] = []
+        source_schemas: Dict[str, TableSchema] = {}
+        for item in query.from_items:
+            if isinstance(item, ast.TableRef):
+                try:
+                    source_schemas[item.alias.lower()] = self._resolve_readable_table(
+                        item.name
+                    ).schema
+                except CatalogError:
+                    pass
+        expressions = [i.expression for i in query.items]
+        if len(expressions) != len(planned.column_names):
+            expressions = [None] * len(planned.column_names)  # stars expanded
+        for expression in expressions:
+            inferred = SqlType.ANY
+            if (
+                isinstance(expression, ast.FieldAccess)
+                and len(expression.accessors) == 1
+                and isinstance(expression.accessors[0], ast.NameAccessor)
+            ):
+                schema = source_schemas.get(expression.base.lower())
+                if schema is not None and schema.has_column(
+                    expression.accessors[0].name
+                ):
+                    inferred = schema.column(expression.accessors[0].name).sql_type
+            types.append(inferred)
+        names = self._dedupe_names(planned.column_names)
+        return TableSchema(
+            [Column(name, sql_type) for name, sql_type in zip(names, types)]
+        )
+
+    @staticmethod
+    def _dedupe_names(names: List[str]) -> List[str]:
+        seen: Dict[str, int] = {}
+        out = []
+        for name in names:
+            key = name.lower()
+            if key in seen:
+                seen[key] += 1
+                out.append(f"{name}_{seen[key]}")
+            else:
+                seen[key] = 1
+                out.append(name)
+        return out
+
+    def _incremental_view_parts(self, query: ast.Select):
+        """If the view is single-table filter/project, compile the pieces
+        for incremental maintenance; else None."""
+        if (
+            len(query.from_items) != 1
+            or not isinstance(query.from_items[0], ast.TableRef)
+            or query.group_by
+            or query.having is not None
+            or query.order_by
+            or query.limit is not None
+            or query.distinct
+        ):
+            return None
+        table_ref = query.from_items[0]
+        try:
+            source = self._resolve_readable_table(table_ref.name)
+        except CatalogError:
+            return None
+        if self.catalog.has_view(table_ref.name):
+            return None  # view-over-view: keep it simple, full refresh
+        binding = RelationBinding(table_ref.alias, 0, source.schema)
+        scope = Scope([binding])
+        try:
+            if any(isinstance(i.expression, ast.Star) for i in query.items):
+                projections = [
+                    ExpressionCompiler(scope).compile(
+                        ast.FieldAccess(
+                            table_ref.alias, [ast.NameAccessor(column.name)]
+                        )
+                    )
+                    for column in source.schema.columns
+                ]
+            else:
+                for item in query.items:
+                    if find_relational_aggregates(item.expression, scope):
+                        return None
+                projections = [
+                    ExpressionCompiler(scope).compile(item.expression)
+                    for item in query.items
+                ]
+            predicate = (
+                ExpressionCompiler(scope).compile(query.where)
+                if query.where is not None
+                else None
+            )
+        except PlanningError:
+            return None
+        return source, predicate, projections
+
+    def _view_source_tables(self, query: ast.Select) -> List[Table]:
+        sources = []
+        for item in query.from_items:
+            if isinstance(item, ast.TableRef):
+                try:
+                    sources.append(self._resolve_readable_table(item.name))
+                except CatalogError:
+                    pass
+        return sources
+
+    def _execute_create_graph_view(
+        self, statement: ast.CreateGraphView
+    ) -> ResultSet:
+        vertex_table = self._resolve_readable_table(statement.vertex_source)
+        edge_table = self._resolve_readable_table(statement.edge_source)
+        view = build_graph_view(
+            statement.name,
+            statement.directed,
+            vertex_table,
+            statement.vertex_mappings,
+            edge_table,
+            statement.edge_mappings,
+        )
+        view.undo_suspension = self.transactions.suspend_undo
+        self.catalog.register_graph_view(statement.name, view)
+        return ResultSet()
+
+    def _execute_alter_graph_view(
+        self, statement: ast.AlterGraphViewAddSource
+    ) -> ResultSet:
+        """Vertical partitioning (Section 3.2): attach an additional
+        attribute relation to an existing graph view."""
+        view: GraphView = self.catalog.graph_view(statement.name)
+        table = self._resolve_readable_table(statement.source)
+        view.attach_attribute_source(statement.element, table, statement.mappings)
+        return ResultSet()
+
+    def _execute_drop(self, statement: ast.Drop) -> ResultSet:
+        kind, name = statement.kind, statement.name
+        if kind == "TABLE":
+            self._check_graph_dependencies(name)
+            self.catalog.drop_table(name)
+        elif kind == "VIEW":
+            self._check_graph_dependencies(name)
+            view: MaterializedView = self.catalog.view(name)
+            view.detach()
+            self.catalog.drop_view(name)
+        elif kind == "GRAPH VIEW":
+            graph_view: GraphView = self.catalog.graph_view(name)
+            graph_view.detach_maintenance_listeners()
+            self.catalog.drop_graph_view(name)
+        elif kind == "INDEX":
+            owner = self.catalog.index_owner(name)
+            if owner is None:
+                raise CatalogError(f"unknown index: {name}")
+            self.catalog.table(owner).drop_index(name)
+        else:
+            raise PlanningError(f"cannot DROP {kind}")
+        return ResultSet()
+
+    def _check_graph_dependencies(self, source_name: str) -> None:
+        backing = None
+        if self.catalog.has_table(source_name):
+            backing = self.catalog.table(source_name)
+        elif self.catalog.has_view(source_name):
+            backing = self.catalog.view(source_name).table
+        if backing is None:
+            return
+        for graph_view in self.catalog.graph_views():
+            sources = [graph_view.vertex_table, graph_view.edge_table]
+            sources += [
+                extra.table
+                for extra in graph_view.vertex_extra_sources
+                + graph_view.edge_extra_sources
+            ]
+            if any(source is backing for source in sources):
+                raise CatalogError(
+                    f"{source_name} is a relational source of graph view "
+                    f"{graph_view.name}; drop the graph view first"
+                )
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _resolve_writable_table(self, name: str) -> Table:
+        if self.catalog.has_view(name):
+            raise ExecutionError(
+                f"{name} is a materialized view; write to its source table"
+            )
+        return self.catalog.table(name)
+
+    def _resolve_readable_table(self, name: str) -> Table:
+        if self.catalog.has_table(name):
+            return self.catalog.table(name)
+        if self.catalog.has_view(name):
+            return self.catalog.view(name).table
+        raise CatalogError(f"unknown table or view: {name}")
+
+    def _execute_insert(self, statement: ast.Insert) -> ResultSet:
+        table = self._resolve_writable_table(statement.table)
+        schema = table.schema
+        empty_scope = Scope([RelationBinding("#none", 0, schema)])
+        positions: Optional[List[int]] = None
+        if statement.columns is not None:
+            positions = [schema.position_of(c) for c in statement.columns]
+        if statement.query is not None:
+            return self._insert_from_query(table, positions, statement.query)
+        count = 0
+        for row_expressions in statement.rows:
+            values = [
+                ExpressionCompiler(empty_scope).compile(e).fn([None])
+                for e in row_expressions
+            ]
+            if positions is None:
+                row = values
+            else:
+                if len(values) != len(positions):
+                    raise ExecutionError(
+                        f"INSERT specifies {len(positions)} columns but "
+                        f"{len(values)} values"
+                    )
+                row = [None] * len(schema)
+                for position, value in zip(positions, values):
+                    row[position] = value
+            table.insert(row)
+            count += 1
+        return ResultSet(rowcount=count)
+
+    def _insert_from_query(
+        self,
+        table: Table,
+        positions: Optional[List[int]],
+        query: ast.Select,
+    ) -> ResultSet:
+        """``INSERT INTO t [cols] SELECT ...`` — the workhorse of the
+        Grail baseline's iterative frontier expansion."""
+        rows = self._plan_and_run_select(query).rows
+        count = 0
+        for values in rows:
+            if positions is None:
+                row: List[Any] = list(values)
+            else:
+                if len(values) != len(positions):
+                    raise ExecutionError(
+                        f"INSERT specifies {len(positions)} columns but "
+                        f"the query produces {len(values)}"
+                    )
+                row = [None] * len(table.schema)
+                for position, value in zip(positions, values):
+                    row[position] = value
+            table.insert(row)
+            count += 1
+        return ResultSet(rowcount=count)
+
+    def _dml_targets(
+        self, table: Table, alias: str, where: Optional[ast.Expression]
+    ) -> List[int]:
+        """Slots of the rows a WHERE clause selects (all when absent)."""
+        if where is None:
+            return [slot for slot, _row in table.scan()]
+        where = self._materialize_subqueries(where)
+        scope = Scope([RelationBinding(alias, 0, table.schema)])
+        predicate = ExpressionCompiler(scope).compile(where)
+        return [
+            slot for slot, row in table.scan() if predicate.fn([row]) is True
+        ]
+
+    def _execute_update(self, statement: ast.Update) -> ResultSet:
+        table = self._resolve_writable_table(statement.table)
+        scope = Scope([RelationBinding(statement.table, 0, table.schema)])
+        compiled_assignments = [
+            (
+                table.schema.position_of(column),
+                ExpressionCompiler(scope).compile(
+                    self._materialize_subqueries(e)
+                ),
+            )
+            for column, e in statement.assignments
+        ]
+        slots = self._dml_targets(table, statement.table, statement.where)
+        updates: List[Tuple[int, List[Any]]] = []
+        for slot in slots:
+            row = list(table.row_at(slot))
+            for position, expression in compiled_assignments:
+                row[position] = expression.fn([table.row_at(slot)])
+            updates.append((slot, row))
+        for slot, row in updates:
+            table.update(slot, row)
+        return ResultSet(rowcount=len(updates))
+
+    def _execute_delete(self, statement: ast.Delete) -> ResultSet:
+        table = self._resolve_writable_table(statement.table)
+        slots = self._dml_targets(table, statement.table, statement.where)
+        for slot in slots:
+            table.delete(slot)
+        return ResultSet(rowcount=len(slots))
+
+    def _execute_truncate(self, statement: ast.Truncate) -> ResultSet:
+        table = self._resolve_writable_table(statement.table)
+        return ResultSet(rowcount=table.truncate())
+
+
+class PreparedQuery:
+    """A SELECT planned once, executable with fresh ``?`` bindings.
+
+    The compiled plan reads parameter values straight off the
+    :class:`~repro.sql.ast.Parameter` nodes, so binding is two attribute
+    writes and execution re-runs the existing operator tree.
+    """
+
+    def __init__(self, database: Database, statement: ast.Select):
+        self._statement = statement
+        self._parameters = self._collect_parameters(statement)
+        self._planned = database._plan_select(statement)
+
+    @staticmethod
+    def _collect_parameters(statement: ast.Select) -> List[ast.Parameter]:
+        found: Dict[int, ast.Parameter] = {}
+
+        def scan_expression(expression: Optional[ast.Expression]) -> None:
+            if expression is None:
+                return
+            for node in ast.walk_expression(expression):
+                if isinstance(node, ast.Parameter):
+                    found[node.index] = node
+
+        scan_expression(statement.where)
+        scan_expression(statement.having)
+        for item in statement.items:
+            scan_expression(item.expression)
+        for group in statement.group_by:
+            scan_expression(group)
+        for order in statement.order_by:
+            scan_expression(order.expression)
+        def scan_from_item(item: ast.FromItem) -> None:
+            if isinstance(item, ast.Join):
+                scan_from_item(item.left)
+                scan_from_item(item.right)
+                scan_expression(item.condition)
+
+        for from_item in statement.from_items:
+            scan_from_item(from_item)
+        return [found[index] for index in sorted(found)]
+
+    @property
+    def parameter_count(self) -> int:
+        return len(self._parameters)
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._planned.column_names)
+
+    def explain(self) -> str:
+        return self._planned.explain()
+
+    def _bind(self, values) -> None:
+        if len(values) != len(self._parameters):
+            raise ExecutionError(
+                f"prepared query takes {len(self._parameters)} parameter(s), "
+                f"got {len(values)}"
+            )
+        for parameter, value in zip(self._parameters, values):
+            parameter.value = value
+
+    def execute(self, *values: Any) -> ResultSet:
+        self._bind(values)
+        rows = [tuple(row) for row in self._planned.operator]
+        return ResultSet(self._planned.column_names, rows)
+
+    def stream(self, *values: Any):
+        """Bind parameters and yield rows lazily (see Database.stream).
+
+        The parameter bindings live on the shared plan, so do not
+        interleave two streams of the same PreparedQuery with different
+        bindings.
+        """
+        self._bind(values)
+        for row in self._planned.operator:
+            yield tuple(row)

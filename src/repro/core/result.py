@@ -1,0 +1,57 @@
+"""Query results."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class ResultSet:
+    """The outcome of one statement.
+
+    For SELECT: ``columns`` and ``rows`` are populated. For DML:
+    ``rowcount`` holds the number of affected rows. For DDL: both are
+    empty and ``rowcount`` is 0.
+    """
+
+    def __init__(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        rows: Optional[Sequence[Sequence[Any]]] = None,
+        rowcount: int = 0,
+    ):
+        self.columns: List[str] = list(columns or [])
+        self.rows: List[Tuple[Any, ...]] = [tuple(r) for r in (rows or [])]
+        self.rowcount = rowcount if rowcount else len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def first(self) -> Optional[Tuple[Any, ...]]:
+        """The first row, or None."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a one-row / one-column result (or None)."""
+        row = self.first()
+        return row[0] if row else None
+
+    def column(self, name_or_index) -> List[Any]:
+        """All values of one column."""
+        if isinstance(name_or_index, int):
+            index = name_or_index
+        else:
+            lowered = [c.lower() for c in self.columns]
+            index = lowered.index(name_or_index.lower())
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __repr__(self) -> str:
+        return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"

@@ -1,0 +1,147 @@
+"""Materialized relational views.
+
+The paper allows a graph view's vertex/edge relational source to be "a
+table or a materialized relational-view" (Section 3.1). Views here are
+always materialized into a backing table, so graph views can point at
+them uniformly.
+
+Maintenance strategy:
+
+* **incremental** for views of the shape ``SELECT <column exprs> FROM
+  one_table [WHERE ...]`` — each source mutation maps to at most one
+  view-row mutation (the paper's "views selecting from a single table",
+  Section 3.3.2);
+* **full refresh** for anything else (joins, aggregates, DISTINCT, ...)
+  — correct but O(view) per source change.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..expr.compile import CompiledExpression
+from ..sql import ast
+from ..storage.table import Table, TableListener
+
+
+class MaterializedView:
+    """A named, materialized query result kept in sync with its sources."""
+
+    def __init__(
+        self,
+        name: str,
+        query: ast.Select,
+        table: Table,
+        source_tables: List[Table],
+    ):
+        self.name = name
+        self.query = query
+        self.table = table
+        self.source_tables = source_tables
+        self._listeners: List[TableListener] = []
+
+    def attach_incremental(
+        self,
+        source: Table,
+        predicate: Optional[CompiledExpression],
+        projections: List[CompiledExpression],
+    ) -> None:
+        listener = _IncrementalViewListener(self, predicate, projections)
+        source.add_listener(listener)
+        self._listeners.append(listener)
+        listener.backfill(source)
+
+    def attach_full_refresh(self, refresh: Callable[[], List[Tuple]]) -> None:
+        for source in self.source_tables:
+            listener = _FullRefreshListener(self, refresh)
+            source.add_listener(listener)
+            self._listeners.append(listener)
+
+    def detach(self) -> None:
+        for source in self.source_tables:
+            for listener in self._listeners:
+                source.remove_listener(listener)
+        self._listeners = []
+
+
+class _IncrementalViewListener(TableListener):
+    """Filter/project single-table view maintenance in O(1) per change."""
+
+    def __init__(
+        self,
+        view: MaterializedView,
+        predicate: Optional[CompiledExpression],
+        projections: List[CompiledExpression],
+    ):
+        self.view = view
+        self.predicate = predicate
+        self.projections = projections
+        # source slot -> view slot, for deletes/updates
+        self._slot_map: Dict[int, int] = {}
+
+    def _qualifies(self, row) -> bool:
+        if self.predicate is None:
+            return True
+        return self.predicate.fn([row]) is True
+
+    def _project(self, row) -> List[Any]:
+        return [p.fn([row]) for p in self.projections]
+
+    def backfill(self, source: Table) -> None:
+        for slot, row in source.scan():
+            if self._qualifies(row):
+                pointer = self.view.table.insert(self._project(row))
+                self._slot_map[slot] = pointer.slot
+
+    def on_insert(self, table, pointer, row):
+        if self._qualifies(row):
+            view_pointer = self.view.table.insert(self._project(row))
+            self._slot_map[pointer.slot] = view_pointer.slot
+
+    def on_delete(self, table, pointer, row):
+        view_slot = self._slot_map.pop(pointer.slot, None)
+        if view_slot is not None and self.view.table.is_live(view_slot):
+            self.view.table.delete(view_slot)
+
+    def on_update(self, table, pointer, old_row, new_row):
+        old_in = pointer.slot in self._slot_map
+        new_in = self._qualifies(new_row)
+        if old_in and new_in:
+            self.view.table.update(
+                self._slot_map[pointer.slot], self._project(new_row)
+            )
+        elif old_in and not new_in:
+            self.on_delete(table, pointer, old_row)
+        elif new_in:
+            view_pointer = self.view.table.insert(self._project(new_row))
+            self._slot_map[pointer.slot] = view_pointer.slot
+
+
+class _FullRefreshListener(TableListener):
+    """Rebuild the whole view after any source change."""
+
+    def __init__(self, view: MaterializedView, refresh: Callable[[], List[Tuple]]):
+        self.view = view
+        self.refresh = refresh
+        self._refreshing = False
+
+    def _rebuild(self):
+        if self._refreshing:
+            return
+        self._refreshing = True
+        try:
+            rows = self.refresh()
+            self.view.table.truncate()
+            for row in rows:
+                self.view.table.insert(row)
+        finally:
+            self._refreshing = False
+
+    def on_insert(self, table, pointer, row):
+        self._rebuild()
+
+    def on_delete(self, table, pointer, row):
+        self._rebuild()
+
+    def on_update(self, table, pointer, old_row, new_row):
+        self._rebuild()

@@ -1,0 +1,41 @@
+"""Synthetic dataset generators and loaders (system S12).
+
+The paper evaluates on four real graphs (Table 2): the Tiger road
+network, the String protein-interaction network, the DBLP co-authorship
+network, and the Twitter follower graph. Those datasets are not
+redistributable here, so each is substituted by a deterministic
+generator producing a graph of the same *structural class* at laptop
+scale — grid-like planar (roads), dense power-law (PPI), community
+overlap (co-authorship), heavy-tailed directed (followers). See
+DESIGN.md for why the substitution preserves the evaluated behaviour.
+"""
+
+from .generators import (
+    GraphDataset,
+    road_network,
+    protein_network,
+    coauthorship_network,
+    follower_network,
+    DATASET_BUILDERS,
+    standard_datasets,
+)
+from .loader import (
+    load_into_grfusion,
+    load_into_sqlgraph,
+    load_into_grail,
+    load_into_property_graph,
+)
+
+__all__ = [
+    "GraphDataset",
+    "road_network",
+    "protein_network",
+    "coauthorship_network",
+    "follower_network",
+    "DATASET_BUILDERS",
+    "standard_datasets",
+    "load_into_grfusion",
+    "load_into_sqlgraph",
+    "load_into_grail",
+    "load_into_property_graph",
+]

@@ -1,0 +1,271 @@
+"""Deterministic synthetic graph generators.
+
+Every generator returns a :class:`GraphDataset` with uniform row shapes:
+
+* vertices: ``(vid, vlabel, vsel)``
+* edges: ``(eid, src, dst, w, elabel, esel)``
+
+``vsel`` / ``esel`` are integers uniform in ``[0, 100)`` so a predicate
+``sel < s`` selects an ``s``-percent subgraph — the mechanism behind the
+paper's 5%-50% sub-graph selectivity sweeps (Section 7.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Tuple
+
+VertexRow = Tuple[Any, str, int]
+EdgeRow = Tuple[Any, Any, Any, float, str, int]
+
+
+class GraphDataset:
+    """A generated graph plus its provenance."""
+
+    def __init__(
+        self,
+        name: str,
+        directed: bool,
+        vertices: List[VertexRow],
+        edges: List[EdgeRow],
+        paper_analogue: str,
+        description: str,
+    ):
+        self.name = name
+        self.directed = directed
+        self.vertices = vertices
+        self.edges = edges
+        self.paper_analogue = paper_analogue
+        self.description = description
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def average_degree(self) -> float:
+        if not self.vertices:
+            return 0.0
+        return len(self.edges) / len(self.vertices)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphDataset({self.name}, |V|={self.vertex_count}, "
+            f"|E|={self.edge_count})"
+        )
+
+
+_ROAD_LABELS = ("local", "highway", "toll")
+_PPI_LABELS = ("covalent", "stable", "weak", "transient")
+_COAUTHOR_LABELS = ("journal", "conference", "workshop")
+_FOLLOW_LABELS = ("follows",)
+
+
+def road_network(
+    width: int = 32, height: int = 32, seed: int = 7
+) -> GraphDataset:
+    """Tiger-analogue: a planar grid of road intersections.
+
+    Degree is bounded by 4 and the diameter is large — the regime where
+    deep traversals are long chains (road-network reachability in
+    Figure 7a).
+    """
+    rng = random.Random(seed)
+    vertices: List[VertexRow] = []
+    edges: List[EdgeRow] = []
+    def vid(x: int, y: int) -> int:
+        return y * width + x
+
+    for y in range(height):
+        for x in range(width):
+            vertices.append((vid(x, y), "intersection", rng.randrange(100)))
+    eid = 0
+    for y in range(height):
+        for x in range(width):
+            # connect rightwards and downwards; undirected edges
+            for dx, dy in ((1, 0), (0, 1)):
+                nx, ny = x + dx, y + dy
+                if nx >= width or ny >= height:
+                    continue
+                # occasionally drop an edge so the grid is not perfect
+                if rng.random() < 0.03:
+                    continue
+                length = round(rng.uniform(0.2, 3.0), 3)
+                label = rng.choices(_ROAD_LABELS, weights=(80, 15, 5))[0]
+                edges.append(
+                    (eid, vid(x, y), vid(nx, ny), length, label, rng.randrange(100))
+                )
+                eid += 1
+    return GraphDataset(
+        "road",
+        directed=False,
+        vertices=vertices,
+        edges=edges,
+        paper_analogue="Tiger (continental US road network)",
+        description=f"{width}x{height} planar road grid",
+    )
+
+
+def protein_network(
+    n: int = 1200, attach: int = 6, seed: int = 11
+) -> GraphDataset:
+    """String-analogue: dense power-law protein-interaction network
+    grown by preferential attachment (Barabási-Albert)."""
+    rng = random.Random(seed)
+    vertices: List[VertexRow] = [
+        (i, f"P{i:05d}", rng.randrange(100)) for i in range(n)
+    ]
+    edges: List[EdgeRow] = []
+    eid = 0
+    # endpoint pool: vertices repeated once per incident edge (BA trick)
+    endpoint_pool: List[int] = list(range(min(attach + 1, n)))
+    seen = set()
+    for new in range(len(endpoint_pool), n):
+        targets = set()
+        while len(targets) < min(attach, new):
+            candidate = rng.choice(endpoint_pool)
+            if candidate != new:
+                targets.add(candidate)
+        for target in targets:
+            key = (min(new, target), max(new, target))
+            if key in seen:
+                continue
+            seen.add(key)
+            label = rng.choices(_PPI_LABELS, weights=(10, 30, 40, 20))[0]
+            confidence = round(rng.uniform(0.15, 1.0), 3)
+            edges.append(
+                (eid, new, target, confidence, label, rng.randrange(100))
+            )
+            eid += 1
+            endpoint_pool.extend((new, target))
+    return GraphDataset(
+        "protein",
+        directed=False,
+        vertices=vertices,
+        edges=edges,
+        paper_analogue="String (protein-interaction network)",
+        description=f"BA power-law PPI, n={n}, attach={attach}",
+    )
+
+
+def coauthorship_network(
+    n: int = 1500,
+    communities: int = 40,
+    collaborators: int = 5,
+    cross_probability: float = 0.08,
+    seed: int = 13,
+) -> GraphDataset:
+    """DBLP-analogue: community-structured undirected co-authorship."""
+    rng = random.Random(seed)
+    vertices: List[VertexRow] = []
+    community_members: List[List[int]] = [[] for _ in range(communities)]
+    for author in range(n):
+        community = rng.randrange(communities)
+        community_members[community].append(author)
+        vertices.append((author, f"author{author}", rng.randrange(100)))
+    edges: List[EdgeRow] = []
+    seen = set()
+    eid = 0
+    community_of: Dict[int, int] = {}
+    for c, members in enumerate(community_members):
+        for member in members:
+            community_of[member] = c
+    for author in range(n):
+        community = community_of[author]
+        pool = community_members[community]
+        for _ in range(collaborators):
+            if rng.random() < cross_probability or len(pool) < 2:
+                other = rng.randrange(n)
+            else:
+                other = rng.choice(pool)
+            if other == author:
+                continue
+            key = (min(author, other), max(author, other))
+            if key in seen:
+                continue
+            seen.add(key)
+            papers = rng.randint(1, 12)
+            label = rng.choice(_COAUTHOR_LABELS)
+            edges.append(
+                (eid, author, other, float(papers), label, rng.randrange(100))
+            )
+            eid += 1
+    return GraphDataset(
+        "dblp",
+        directed=False,
+        vertices=vertices,
+        edges=edges,
+        paper_analogue="DBLP (co-authorship network)",
+        description=(
+            f"community co-authorship, n={n}, communities={communities}"
+        ),
+    )
+
+
+def follower_network(
+    n: int = 2000, out_degree: int = 12, seed: int = 17
+) -> GraphDataset:
+    """Twitter-analogue: directed follower graph with heavy-tailed
+    in-degree (preferential attachment on the followee side).
+
+    This is the graph class where join-based traversal blows up
+    (Figure 7d): a few celebrity vertices concentrate most edges.
+    """
+    rng = random.Random(seed)
+    vertices: List[VertexRow] = [
+        (i, f"user{i}", rng.randrange(100)) for i in range(n)
+    ]
+    edges: List[EdgeRow] = []
+    eid = 0
+    followee_pool: List[int] = list(range(min(out_degree + 1, n)))
+    seen = set()
+    for user in range(n):
+        follows = set()
+        budget = min(out_degree, n - 1)
+        attempts = 0
+        while len(follows) < budget and attempts < budget * 8:
+            attempts += 1
+            if rng.random() < 0.25:
+                candidate = rng.randrange(n)
+            else:
+                candidate = rng.choice(followee_pool)
+            if candidate == user or (user, candidate) in seen:
+                continue
+            follows.add(candidate)
+            seen.add((user, candidate))
+        for followee in follows:
+            edges.append(
+                (eid, user, followee, 1.0, "follows", rng.randrange(100))
+            )
+            eid += 1
+            followee_pool.append(followee)
+    return GraphDataset(
+        "twitter",
+        directed=True,
+        vertices=vertices,
+        edges=edges,
+        paper_analogue="Twitter (follower graph)",
+        description=f"preferential-attachment follower graph, n={n}",
+    )
+
+
+DATASET_BUILDERS: Dict[str, Callable[..., GraphDataset]] = {
+    "road": road_network,
+    "protein": protein_network,
+    "dblp": coauthorship_network,
+    "twitter": follower_network,
+}
+
+
+def standard_datasets(scale: float = 1.0, seed: int = 23) -> List[GraphDataset]:
+    """The four Table-2 datasets at a given scale factor."""
+    side = max(8, int(32 * scale**0.5))
+    return [
+        road_network(width=side, height=side, seed=seed),
+        protein_network(n=max(100, int(1200 * scale)), seed=seed + 1),
+        coauthorship_network(n=max(100, int(1500 * scale)), seed=seed + 2),
+        follower_network(n=max(100, int(2000 * scale)), seed=seed + 3),
+    ]

@@ -1,0 +1,69 @@
+"""Loaders: put a :class:`GraphDataset` into each system under test."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..baselines.grail import GrailEngine
+from ..baselines.graphdb import PropertyGraph
+from ..baselines.sqlgraph import SqlGraphStore
+from ..core.database import Database
+from .generators import GraphDataset
+
+
+def load_into_grfusion(
+    dataset: GraphDataset,
+    database: Optional[Database] = None,
+    graph_name: Optional[str] = None,
+) -> Tuple[Database, str]:
+    """Create vertex/edge tables, load rows, and build the graph view.
+
+    Returns ``(database, graph_view_name)``. Table names are derived
+    from the dataset name (``<name>_v`` / ``<name>_e``).
+    """
+    db = database or Database()
+    name = graph_name or dataset.name.capitalize()
+    vertex_table = f"{dataset.name}_v"
+    edge_table = f"{dataset.name}_e"
+    db.execute(
+        f"CREATE TABLE {vertex_table} (vid INTEGER PRIMARY KEY, "
+        "vlabel VARCHAR, vsel INTEGER)"
+    )
+    db.execute(
+        f"CREATE TABLE {edge_table} (eid INTEGER PRIMARY KEY, src INTEGER, "
+        "dst INTEGER, w FLOAT, elabel VARCHAR, esel INTEGER)"
+    )
+    db.load_rows(vertex_table, dataset.vertices)
+    db.load_rows(edge_table, dataset.edges)
+    direction = "DIRECTED" if dataset.directed else "UNDIRECTED"
+    db.execute(
+        f"CREATE {direction} GRAPH VIEW {name} "
+        f"VERTEXES(ID = vid, vlabel = vlabel, vsel = vsel) FROM {vertex_table} "
+        f"EDGES(ID = eid, FROM = src, TO = dst, w = w, elabel = elabel, "
+        f"esel = esel) FROM {edge_table}"
+    )
+    return db, name
+
+
+def load_into_sqlgraph(dataset: GraphDataset) -> SqlGraphStore:
+    store = SqlGraphStore(directed=dataset.directed)
+    store.load_vertices(dataset.vertices)
+    store.load_edges(dataset.edges)
+    return store
+
+
+def load_into_grail(dataset: GraphDataset) -> GrailEngine:
+    engine = GrailEngine(directed=dataset.directed)
+    engine.load_edges(
+        (eid, src, dst, w) for eid, src, dst, w, _label, _sel in dataset.edges
+    )
+    return engine
+
+
+def load_into_property_graph(dataset: GraphDataset) -> PropertyGraph:
+    graph = PropertyGraph(directed=dataset.directed)
+    for vid, vlabel, vsel in dataset.vertices:
+        graph.add_vertex(vid, vlabel=vlabel, vsel=vsel)
+    for eid, src, dst, w, elabel, esel in dataset.edges:
+        graph.add_edge(eid, src, dst, w=w, elabel=elabel, esel=esel)
+    return graph

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the engine derives from :class:`DatabaseError`, so
+applications can catch a single base class. The sub-classes mirror the
+layers of the system: SQL front end, catalog/DDL, execution, constraints,
+transactions, and graph views.
+"""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """Raised when the lexer or parser rejects a SQL string.
+
+    Carries the offending position so callers can point at the input.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class CatalogError(DatabaseError):
+    """Raised for DDL problems: unknown/duplicate tables, columns, views."""
+
+
+class PlanningError(DatabaseError):
+    """Raised when a parsed statement cannot be turned into a valid plan."""
+
+
+class ExecutionError(DatabaseError):
+    """Raised for runtime failures while executing a plan."""
+
+
+class TypeMismatchError(ExecutionError):
+    """Raised when a value cannot be coerced to the declared column type."""
+
+
+class ConstraintViolation(ExecutionError):
+    """Raised when a write violates a primary-key / not-null / FK constraint."""
+
+
+class IntegrityError(ConstraintViolation):
+    """Raised when graph-view referential integrity would be broken.
+
+    For a graph view with vertex set V and edge set E, every edge endpoint
+    must be a member of V (Section 3.1 of the paper).
+    """
+
+
+class TransactionError(DatabaseError):
+    """Raised for invalid transaction state transitions."""
+
+
+class GraphViewError(DatabaseError):
+    """Raised for graph-view definition or maintenance problems."""

@@ -1,0 +1,146 @@
+"""Grouping / aggregation and sorting operators."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from ..expr.compile import CompiledExpression
+from ..expr.functions import make_accumulator
+from .operators import Operator, Row, _hashable
+
+
+class AggregateSpec:
+    """One aggregate call: function name, argument, DISTINCT flag.
+
+    ``argument is None`` encodes ``COUNT(*)``.
+    """
+
+    __slots__ = ("name", "argument", "distinct")
+
+    def __init__(
+        self,
+        name: str,
+        argument: Optional[CompiledExpression],
+        distinct: bool = False,
+    ):
+        self.name = name.upper()
+        self.argument = argument
+        self.distinct = distinct
+
+
+class AggregateOp(Operator):
+    """Hash aggregation.
+
+    Consumes combined rows; produces rows in a **new single-slot layout**:
+    ``row[0] = (group_value_0, ..., agg_value_0, ...)``. The planner
+    projects the final select list against a synthetic schema over this
+    tuple.
+
+    With no GROUP BY, exactly one output row is produced even over empty
+    input (SQL scalar-aggregate semantics).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_expressions: Sequence[CompiledExpression],
+        aggregates: Sequence[AggregateSpec],
+    ):
+        self.child = child
+        self.group_expressions = list(group_expressions)
+        self.aggregates = list(aggregates)
+
+    def __iter__(self) -> Iterator[Row]:
+        group_fns = [g.fn for g in self.group_expressions]
+        groups: dict = {}
+        order: List[Any] = []
+        for row in self.child:
+            raw_key = tuple(fn(row) for fn in group_fns)
+            key = tuple(_hashable(part) for part in raw_key)
+            state = groups.get(key)
+            if state is None:
+                state = (
+                    raw_key,
+                    [
+                        make_accumulator(
+                            spec.name,
+                            spec.distinct,
+                            count_rows=spec.argument is None,
+                        )
+                        for spec in self.aggregates
+                    ],
+                )
+                groups[key] = state
+                order.append(key)
+            _raw, accumulators = state
+            for spec, accumulator in zip(self.aggregates, accumulators):
+                if spec.argument is None:
+                    accumulator.add(1)
+                else:
+                    accumulator.add(spec.argument.fn(row))
+        if not groups and not self.group_expressions:
+            empties = [
+                make_accumulator(
+                    spec.name, spec.distinct, count_rows=spec.argument is None
+                )
+                for spec in self.aggregates
+            ]
+            yield [tuple(a.result() for a in empties)]
+            return
+        for key in order:
+            raw_key, accumulators = groups[key]
+            yield [tuple(raw_key) + tuple(a.result() for a in accumulators)]
+
+    def describe(self) -> str:
+        return (
+            f"Aggregate(groups={len(self.group_expressions)}, "
+            f"aggs={len(self.aggregates)})"
+        )
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+class _NullAwareKey:
+    """Ordering wrapper: NULLs sort first ascending, last descending."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_NullAwareKey") -> bool:
+        if self.value is None:
+            return other.value is not None
+        if other.value is None:
+            return False
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NullAwareKey) and self.value == other.value
+
+
+class SortOp(Operator):
+    """ORDER BY: materializes its input and sorts by multiple keys."""
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: Sequence[Tuple[CompiledExpression, bool]],
+    ):
+        self.child = child
+        self.keys = list(keys)  # (expression, ascending)
+
+    def __iter__(self) -> Iterator[Row]:
+        rows = list(self.child)
+        # stable multi-key sort: apply keys right-to-left
+        for expression, ascending in reversed(self.keys):
+            fn = expression.fn
+            rows.sort(key=lambda row: _NullAwareKey(fn(row)), reverse=not ascending)
+        return iter(rows)
+
+    def describe(self) -> str:
+        return f"Sort({len(self.keys)} keys)"
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)

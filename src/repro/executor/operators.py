@@ -1,0 +1,301 @@
+"""Core relational operators: scans, filter, project, limit, distinct."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+from ..expr.compile import CompiledExpression
+from ..storage.index import Index
+from ..storage.table import Table
+
+Row = List[Any]
+
+
+class Operator:
+    """Base class: an operator is a restartable iterable of combined rows.
+
+    ``__iter__`` may be called more than once (e.g. as the inner side of
+    a nested-loop join); implementations must build a fresh iterator per
+    call.
+    """
+
+    def __iter__(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """One-line-per-operator plan rendering (for EXPLAIN-style output)."""
+        pad = "  " * indent
+        lines = [f"{pad}{self.describe()}"]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> Sequence["Operator"]:
+        return ()
+
+
+class SeqScanOp(Operator):
+    """Full scan of a table into one slot of a fresh combined row."""
+
+    def __init__(self, table: Table, slot: int, width: int):
+        self.table = table
+        self.slot = slot
+        self.width = width
+
+    def __iter__(self) -> Iterator[Row]:
+        slot, width = self.slot, self.width
+        for _slot_number, stored in self.table.scan():
+            row: Row = [None] * width
+            row[slot] = stored
+            yield row
+
+    def describe(self) -> str:
+        return f"SeqScan({self.table.name})"
+
+
+class IndexLookupOp(Operator):
+    """Point lookup through a secondary index.
+
+    ``key`` is either a constant tuple or a zero-argument callable
+    producing the key tuple — the latter defers evaluation to execution
+    time, which is what prepared statements with ``?`` parameters need.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        index: Index,
+        key: Any,
+        slot: int,
+        width: int,
+    ):
+        self.table = table
+        self.index = index
+        self.key = key if callable(key) else tuple(key)
+        self.slot = slot
+        self.width = width
+
+    def __iter__(self) -> Iterator[Row]:
+        key = self.key() if callable(self.key) else self.key
+        for slot_number in self.index.lookup(key):
+            row: Row = [None] * self.width
+            row[self.slot] = self.table.row_at(slot_number)
+            yield row
+
+    def describe(self) -> str:
+        return f"IndexLookup({self.table.name}.{self.index.name})"
+
+
+class IndexRangeScanOp(Operator):
+    """Range scan over an ordered index's leading column.
+
+    ``low`` / ``high`` are constant values or zero-argument callables
+    (evaluated per execution for prepared statements); either bound may
+    be ``None`` (open).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        index: Index,
+        low: Any,
+        high: Any,
+        low_inclusive: bool,
+        high_inclusive: bool,
+        slot: int,
+        width: int,
+    ):
+        self.table = table
+        self.index = index
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+        self.slot = slot
+        self.width = width
+
+    def __iter__(self) -> Iterator[Row]:
+        low = self.low() if callable(self.low) else self.low
+        high = self.high() if callable(self.high) else self.high
+        if (self.low is not None and low is None) or (
+            self.high is not None and high is None
+        ):
+            return  # a bound evaluated to NULL: the predicate is UNKNOWN
+        for slot_number in self.index.range_scan(
+            (low,) if low is not None else None,
+            (high,) if high is not None else None,
+            self.low_inclusive,
+            self.high_inclusive,
+        ):
+            row: Row = [None] * self.width
+            row[self.slot] = self.table.row_at(slot_number)
+            yield row
+
+    def describe(self) -> str:
+        left = "[" if self.low_inclusive else "("
+        right = "]" if self.high_inclusive else ")"
+        return (
+            f"IndexRangeScan({self.table.name}.{self.index.name} "
+            f"{left}low..high{right})"
+        )
+
+
+class SingleRowOp(Operator):
+    """Produces exactly one empty combined row (constant-only queries)."""
+
+    def __init__(self, width: int):
+        self.width = width
+
+    def __iter__(self) -> Iterator[Row]:
+        yield [None] * self.width
+
+    def describe(self) -> str:
+        return "SingleRow"
+
+
+class FilterOp(Operator):
+    """Keeps rows whose predicate evaluates to SQL TRUE."""
+
+    def __init__(self, child: Operator, predicate: CompiledExpression):
+        self.child = child
+        self.predicate = predicate
+
+    def __iter__(self) -> Iterator[Row]:
+        predicate = self.predicate.fn
+        for row in self.child:
+            if predicate(row) is True:
+                yield row
+
+    def describe(self) -> str:
+        return "Filter"
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+class ProjectOp(Operator):
+    """Terminal projection: evaluates the select list into output tuples."""
+
+    def __init__(
+        self, child: Operator, expressions: Sequence[CompiledExpression]
+    ):
+        self.child = child
+        self.expressions = list(expressions)
+
+    def __iter__(self) -> Iterator[Row]:
+        fns = [e.fn for e in self.expressions]
+        for row in self.child:
+            yield [fn(row) for fn in fns]
+
+    def describe(self) -> str:
+        return f"Project({len(self.expressions)} exprs)"
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+class LimitOp(Operator):
+    """LIMIT / OFFSET; pulls no more than needed from its child."""
+
+    def __init__(
+        self,
+        child: Operator,
+        limit: Optional[int],
+        offset: Optional[int] = None,
+    ):
+        self.child = child
+        self.limit = limit
+        self.offset = offset or 0
+
+    def __iter__(self) -> Iterator[Row]:
+        if self.limit is not None and self.limit <= 0:
+            return
+        produced = 0
+        skipped = 0
+        for row in self.child:
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            produced += 1
+            yield row
+            if self.limit is not None and produced >= self.limit:
+                return  # stop before pulling a row we would discard
+
+    def describe(self) -> str:
+        return f"Limit({self.limit}, offset={self.offset})"
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+def _hashable(value: Any) -> Any:
+    """Make a projected value usable as a dict key."""
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    return value
+
+
+class DistinctOp(Operator):
+    """Duplicate elimination over fully-projected rows."""
+
+    def __init__(self, child: Operator):
+        self.child = child
+
+    def __iter__(self) -> Iterator[Row]:
+        seen = set()
+        for row in self.child:
+            key = tuple(_hashable(v) for v in row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    def describe(self) -> str:
+        return "Distinct"
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+class DerivedTableOp(Operator):
+    """Streams a planned subquery's output rows into one slot.
+
+    The subquery's projected rows (value lists) become stored-tuple-like
+    tuples, so the outer plan treats a derived table exactly like a base
+    relation.
+    """
+
+    def __init__(self, subplan: Operator, slot: int, width: int, label: str):
+        self.subplan = subplan
+        self.slot = slot
+        self.width = width
+        self.label = label
+
+    def __iter__(self) -> Iterator[Row]:
+        slot, width = self.slot, self.width
+        for values in self.subplan:
+            row: Row = [None] * width
+            row[slot] = tuple(values)
+            yield row
+
+    def describe(self) -> str:
+        return f"DerivedTable({self.label})"
+
+    def children(self) -> Sequence["Operator"]:
+        return (self.subplan,)
+
+
+class CallbackScanOp(Operator):
+    """Adapter turning any row-producing callable into an operator."""
+
+    def __init__(self, factory: Callable[[], Iterator[Row]], label: str = "Callback"):
+        self.factory = factory
+        self.label = label
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.factory()
+
+    def describe(self) -> str:
+        return self.label

@@ -1,0 +1,35 @@
+"""Expression engine (system S3).
+
+Compiles parsed SQL expressions into Python closures evaluated against
+*combined rows* — one slot per from-clause item, holding a relational
+tuple, a Vertex, an Edge, or a Path. SQL three-valued logic (NULL =
+``None``) is implemented throughout.
+
+The paper's path expressions (``PS.Edges[0..*].attr``, ``PS.Length``,
+``PS.StartVertex.Id``, ``SUM(PS.Edges.w)``, …) compile against
+:class:`~repro.expr.scope.PathBinding` slots.
+"""
+
+from .scope import (
+    Scope,
+    RelationBinding,
+    VertexBinding,
+    EdgeBinding,
+    PathBinding,
+)
+from .compile import CompiledExpression, compile_expression, ExpressionCompiler
+from .functions import SCALAR_FUNCTIONS, make_accumulator, is_aggregate_name
+
+__all__ = [
+    "Scope",
+    "RelationBinding",
+    "VertexBinding",
+    "EdgeBinding",
+    "PathBinding",
+    "CompiledExpression",
+    "compile_expression",
+    "ExpressionCompiler",
+    "SCALAR_FUNCTIONS",
+    "make_accumulator",
+    "is_aggregate_name",
+]

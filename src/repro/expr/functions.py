@@ -1,0 +1,225 @@
+"""Scalar function registry and aggregate accumulators.
+
+Scalar functions are NULL-propagating unless documented otherwise
+(COALESCE, NULLIF). Aggregates follow SQL semantics: NULL inputs are
+ignored; ``COUNT(*)`` counts rows; ``SUM``/``AVG``/``MIN``/``MAX`` over
+no non-NULL input yield NULL; ``COUNT`` yields 0.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ExecutionError
+
+# ---------------------------------------------------------------------------
+# scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _null_propagating(fn: Callable) -> Callable:
+    def wrapper(*args):
+        if any(a is None for a in args):
+            return None
+        return fn(*args)
+
+    return wrapper
+
+
+def _substring(text: str, start: int, length: Optional[int] = None) -> str:
+    # SQL SUBSTRING is 1-based
+    begin = max(int(start) - 1, 0)
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + int(length)]
+
+
+def _coalesce(*args: Any) -> Any:
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _nullif(left: Any, right: Any) -> Any:
+    if left is None:
+        return None
+    return None if left == right else left
+
+
+def _round(value: float, digits: int = 0) -> float:
+    return round(value, int(digits))
+
+
+def _power(base: float, exponent: float) -> float:
+    return float(base) ** float(exponent)
+
+
+def _mod(left: float, right: float) -> float:
+    if right == 0:
+        raise ExecutionError("MOD by zero")
+    return left % right
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable] = {
+    "ABS": _null_propagating(abs),
+    "LENGTH": _null_propagating(lambda s: len(s)),
+    "CHAR_LENGTH": _null_propagating(lambda s: len(s)),
+    "UPPER": _null_propagating(lambda s: str(s).upper()),
+    "LOWER": _null_propagating(lambda s: str(s).lower()),
+    "TRIM": _null_propagating(lambda s: str(s).strip()),
+    "SUBSTRING": _null_propagating(_substring),
+    "SUBSTR": _null_propagating(_substring),
+    "CONCAT": _null_propagating(lambda *parts: "".join(str(p) for p in parts)),
+    "COALESCE": _coalesce,
+    "NULLIF": _nullif,
+    "FLOOR": _null_propagating(lambda v: math.floor(v)),
+    "CEIL": _null_propagating(lambda v: math.ceil(v)),
+    "CEILING": _null_propagating(lambda v: math.ceil(v)),
+    "ROUND": _null_propagating(_round),
+    "SQRT": _null_propagating(lambda v: math.sqrt(v)),
+    "POWER": _null_propagating(_power),
+    "MOD": _null_propagating(_mod),
+    "SIGN": _null_propagating(lambda v: (v > 0) - (v < 0)),
+}
+
+
+# ---------------------------------------------------------------------------
+# aggregates
+# ---------------------------------------------------------------------------
+
+AGGREGATE_NAMES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def is_aggregate_name(name: str) -> bool:
+    return name.upper() in AGGREGATE_NAMES
+
+
+class Accumulator:
+    """Incremental aggregate state."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class _Count(Accumulator):
+    def __init__(self, count_rows: bool):
+        self.count_rows = count_rows
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if self.count_rows or value is not None:
+            self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class _Sum(Accumulator):
+    def __init__(self):
+        self.total: Optional[float] = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+
+    def result(self) -> Optional[float]:
+        return self.total
+
+
+class _Avg(Accumulator):
+    def __init__(self):
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total += value
+        self.count += 1
+
+    def result(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+
+class _Min(Accumulator):
+    def __init__(self):
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value < self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class _Max(Accumulator):
+    def __init__(self):
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value > self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class _Distinct(Accumulator):
+    """DISTINCT wrapper: forwards each distinct non-NULL value once."""
+
+    def __init__(self, inner: Accumulator):
+        self.inner = inner
+        self.seen: set = set()
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            self.inner.add(None)
+            return
+        if value not in self.seen:
+            self.seen.add(value)
+            self.inner.add(value)
+
+    def result(self) -> Any:
+        return self.inner.result()
+
+
+def make_accumulator(
+    name: str, distinct: bool = False, count_rows: bool = False
+) -> Accumulator:
+    """Instantiate fresh aggregate state for one group."""
+    upper = name.upper()
+    if upper == "COUNT":
+        inner: Accumulator = _Count(count_rows)
+    elif upper == "SUM":
+        inner = _Sum()
+    elif upper == "AVG":
+        inner = _Avg()
+    elif upper == "MIN":
+        inner = _Min()
+    elif upper == "MAX":
+        inner = _Max()
+    else:
+        raise ExecutionError(f"unknown aggregate function: {name}")
+    if distinct and not count_rows:
+        return _Distinct(inner)
+    return inner
+
+
+def aggregate_over(name: str, values: List[Any], distinct: bool = False) -> Any:
+    """One-shot aggregate over a value list (used by path aggregates
+    like ``SUM(PS.Edges.Weight)``)."""
+    accumulator = make_accumulator(name, distinct)
+    for value in values:
+        accumulator.add(value)
+    return accumulator.result()

@@ -1,0 +1,39 @@
+"""Native graph support (system S7) — the paper's primary contribution.
+
+A *graph view* (Section 3) materializes only the **topology** of a graph
+declared over relational sources, as adjacency lists in main memory. The
+vertex/edge attributes stay in their relational tables and are reached
+through tuple pointers, giving O(1) navigation in both directions.
+
+The package also provides the traversal machinery behind the ``PATHS``
+construct (Section 4): lazy depth-first, breadth-first and shortest-path
+scans with filter pushdown (Sections 5–6).
+"""
+
+from .topology import Vertex, Edge, GraphTopology
+from .path import Path
+from .graph_view import GraphView, GraphSchema, build_graph_view
+from .traversal import (
+    TraversalSpec,
+    dfs_paths,
+    bfs_paths,
+    shortest_paths,
+    choose_traversal,
+)
+from . import algorithms
+
+__all__ = [
+    "Vertex",
+    "Edge",
+    "GraphTopology",
+    "Path",
+    "GraphView",
+    "GraphSchema",
+    "build_graph_view",
+    "TraversalSpec",
+    "dfs_paths",
+    "bfs_paths",
+    "shortest_paths",
+    "choose_traversal",
+    "algorithms",
+]

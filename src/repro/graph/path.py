@@ -1,0 +1,105 @@
+"""The ``Path`` data type (Section 5.2 of the paper).
+
+A path is an ordered list of edges plus the vertex sequence it visits.
+Inside a query execution pipeline it behaves like an extended relational
+tuple with the schema the paper defines: ``Length``, ``StartVertex``,
+``EndVertex``, ``Vertexes``, ``Edges`` — plus the derived ``PathString``
+used by reachability queries (Listing 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .topology import Edge, Vertex
+
+
+class Path:
+    """An immutable simple path through a graph view.
+
+    Attributes:
+        vertices: Vertex sequence of length ``len(edges) + 1``.
+        edges: Edge sequence in traversal order.
+        cost: Accumulated weight when produced by a shortest-path scan,
+            otherwise ``None``.
+    """
+
+    __slots__ = ("vertices", "edges", "cost")
+
+    def __init__(
+        self,
+        vertices: Sequence[Vertex],
+        edges: Sequence[Edge],
+        cost: Optional[float] = None,
+    ):
+        if len(vertices) != len(edges) + 1:
+            raise ValueError(
+                "a path over k edges must visit k+1 vertices "
+                f"(got {len(vertices)} vertices, {len(edges)} edges)"
+            )
+        self.vertices: Tuple[Vertex, ...] = tuple(vertices)
+        self.edges: Tuple[Edge, ...] = tuple(edges)
+        self.cost = cost
+
+    # ------------------------------------------------------------------
+    # the paper's Path schema
+    # ------------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Number of edges (``PS.Length``)."""
+        return len(self.edges)
+
+    @property
+    def start_vertex(self) -> Vertex:
+        return self.vertices[0]
+
+    @property
+    def end_vertex(self) -> Vertex:
+        return self.vertices[-1]
+
+    @property
+    def start_vertex_id(self) -> Any:
+        return self.vertices[0].id
+
+    @property
+    def end_vertex_id(self) -> Any:
+        return self.vertices[-1].id
+
+    @property
+    def path_string(self) -> str:
+        """Human-readable rendering, e.g. ``1->5->9`` (``PS.PathString``)."""
+        return "->".join(str(v.id) for v in self.vertices)
+
+    # ------------------------------------------------------------------
+
+    def vertex_ids(self) -> List[Any]:
+        return [v.id for v in self.vertices]
+
+    def edge_ids(self) -> List[Any]:
+        return [e.id for e in self.edges]
+
+    def extended(self, edge: Edge, vertex: Vertex, added_cost: float = 0.0) -> "Path":
+        """A new path with one more hop appended."""
+        new_cost = None if self.cost is None else self.cost + added_cost
+        return Path(self.vertices + (vertex,), self.edges + (edge,), new_cost)
+
+    def visits(self, vertex_id: Any) -> bool:
+        return any(v.id == vertex_id for v in self.vertices)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Path)
+            and self.vertex_ids() == other.vertex_ids()
+            and self.edge_ids() == other.edge_ids()
+        )
+
+    def __hash__(self) -> int:
+        return hash((tuple(self.vertex_ids()), tuple(self.edge_ids())))
+
+    def __repr__(self) -> str:
+        cost = f", cost={self.cost}" if self.cost is not None else ""
+        return f"Path({self.path_string}{cost})"

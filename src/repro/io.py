@@ -1,0 +1,171 @@
+"""CSV import/export utilities.
+
+Real deployments of the paper's system load graphs from flat files, so
+the library ships simple, typed CSV helpers:
+
+* :func:`load_csv` — bulk-insert a CSV file into an existing table
+  (values are coerced through the table schema, so graph-view
+  maintenance and constraints all apply);
+* :func:`dump_csv` — write a table or query result out;
+* :func:`import_graph_csv` — one call from a vertex CSV + an edge CSV to
+  a ready graph view.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Any, List, Optional, Sequence
+
+from .core.database import Database
+from .core.result import ResultSet
+from .errors import ExecutionError
+from .types import SqlType
+
+
+def _parse_value(text: str, sql_type: SqlType) -> Any:
+    """CSV cell -> python value for the declared column type.
+
+    Empty cells become NULL.
+    """
+    if text == "":
+        return None
+    if sql_type in (SqlType.INTEGER, SqlType.BIGINT):
+        return int(text)
+    if sql_type in (SqlType.FLOAT, SqlType.DECIMAL):
+        return float(text)
+    if sql_type is SqlType.BOOLEAN:
+        lowered = text.strip().lower()
+        if lowered in ("true", "t", "1", "yes"):
+            return True
+        if lowered in ("false", "f", "0", "no"):
+            return False
+        raise ExecutionError(f"cannot parse boolean CSV value {text!r}")
+    return text  # VARCHAR / TIMESTAMP strings coerce in the schema layer
+
+
+def load_csv(
+    database: Database,
+    table_name: str,
+    path: str,
+    delimiter: str = ",",
+    header: bool = True,
+) -> int:
+    """Load a CSV file into ``table_name``; returns the row count.
+
+    With ``header=True`` the first line names the columns (any order,
+    missing columns become NULL); otherwise columns are positional.
+    """
+    table = database.table(table_name)
+    schema = table.schema
+    count = 0
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        positions: Optional[List[int]] = None
+        for line_number, record in enumerate(reader):
+            if not record:
+                continue
+            if line_number == 0 and header:
+                positions = [schema.position_of(name.strip()) for name in record]
+                continue
+            if positions is None:
+                if len(record) != len(schema):
+                    raise ExecutionError(
+                        f"{path}:{line_number + 1}: expected "
+                        f"{len(schema)} values, got {len(record)}"
+                    )
+                row = [
+                    _parse_value(text, column.sql_type)
+                    for text, column in zip(record, schema.columns)
+                ]
+            else:
+                if len(record) != len(positions):
+                    raise ExecutionError(
+                        f"{path}:{line_number + 1}: expected "
+                        f"{len(positions)} values, got {len(record)}"
+                    )
+                row = [None] * len(schema)
+                for position, text in zip(positions, record):
+                    row[position] = _parse_value(
+                        text, schema.columns[position].sql_type
+                    )
+            table.insert(row)
+            count += 1
+    return count
+
+
+def dump_csv(
+    database: Database,
+    target: str,
+    path: str,
+    delimiter: str = ",",
+) -> int:
+    """Write a table (by name) or the result of a SELECT to a CSV file.
+
+    ``target`` is treated as SQL when it starts with ``SELECT``
+    (case-insensitive); otherwise as a table/view name.
+    """
+    if target.strip().upper().startswith("SELECT"):
+        result = database.execute(target)
+        columns = result.columns
+        rows: Sequence[Sequence[Any]] = result.rows
+    else:
+        table = database._resolve_readable_table(target)
+        columns = table.schema.column_names
+        rows = list(table.rows())
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow(["" if v is None else v for v in row])
+    return len(rows)
+
+
+def import_graph_csv(
+    database: Database,
+    graph_name: str,
+    vertex_csv: str,
+    vertex_schema_sql: str,
+    edge_csv: str,
+    edge_schema_sql: str,
+    vertex_id_column: str,
+    edge_id_column: str,
+    edge_from_column: str,
+    edge_to_column: str,
+    directed: bool = True,
+) -> ResultSet:
+    """Create tables from DDL snippets, load both CSVs, build the view.
+
+    ``vertex_schema_sql`` / ``edge_schema_sql`` are the parenthesized
+    column lists, e.g. ``"id INTEGER PRIMARY KEY, name VARCHAR"``.
+    All non-identifier columns become graph attributes.
+    """
+    vertex_table = f"{graph_name}_vertices"
+    edge_table = f"{graph_name}_edges"
+    database.execute(f"CREATE TABLE {vertex_table} ({vertex_schema_sql})")
+    database.execute(f"CREATE TABLE {edge_table} ({edge_schema_sql})")
+    load_csv(database, vertex_table, vertex_csv)
+    load_csv(database, edge_table, edge_csv)
+
+    vertex_columns = database.table(vertex_table).schema.column_names
+    edge_columns = database.table(edge_table).schema.column_names
+    vertex_mappings = [f"ID = {vertex_id_column}"] + [
+        f"{c} = {c}"
+        for c in vertex_columns
+        if c.lower() != vertex_id_column.lower()
+    ]
+    reserved = {
+        edge_id_column.lower(),
+        edge_from_column.lower(),
+        edge_to_column.lower(),
+    }
+    edge_mappings = [
+        f"ID = {edge_id_column}",
+        f"FROM = {edge_from_column}",
+        f"TO = {edge_to_column}",
+    ] + [f"{c} = {c}" for c in edge_columns if c.lower() not in reserved]
+    direction = "DIRECTED" if directed else "UNDIRECTED"
+    return database.execute(
+        f"CREATE {direction} GRAPH VIEW {graph_name} "
+        f"VERTEXES({', '.join(vertex_mappings)}) FROM {vertex_table} "
+        f"EDGES({', '.join(edge_mappings)}) FROM {edge_table}"
+    )

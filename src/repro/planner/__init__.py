@@ -1,0 +1,19 @@
+"""Query planning and optimization (system S4).
+
+Implements the paper's optimizations:
+
+* single-alias predicate pushdown to scans, with index selection;
+* equi-join detection (hash join) over the relational part of the query;
+* **path-length inference** from explicit (``PS.Length = 2``) and
+  implicit (``PS.Edges[5..*].a = v``) predicates (Section 6.1);
+* **pushing filters ahead of PathScan** — positional element predicates,
+  aggregate bounds, and residual path predicates evaluated inside the
+  traversal (Section 6.2);
+* **logical → physical PathScan mapping** — DFScan / BFScan by the
+  ``F^L`` vs ``F·L`` memory heuristic, SPScan on hint (Section 6.3).
+"""
+
+from .options import PlannerOptions
+from .select_planner import SelectPlanner, PlannedQuery
+
+__all__ = ["PlannerOptions", "SelectPlanner", "PlannedQuery"]

@@ -1,0 +1,66 @@
+"""Planner configuration knobs (also used by the ablation benchmarks)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class PlannerOptions:
+    """Tunables for query optimization.
+
+    Attributes:
+        push_path_filters: apply Section 6.2 (filters evaluated inside
+            the traversal). Off, every path predicate is evaluated by a
+            Filter operator above the PathScan.
+        infer_path_length: apply Section 6.1 (derive min/max path length
+            from predicates and positional references).
+        default_traversal: physical operator used when no hint is given
+            and no length can be inferred ('DFS' or 'BFS').
+        reachability_shortcut: allow the global visited-once BFS
+            discipline for existence-style queries (bound end vertex +
+            ``LIMIT 1`` + position-independent filters).
+        default_max_path_length: safety cap applied when a PATHS query
+            has no inferable maximum length (``None`` = unbounded, as in
+            the paper).
+        reorder_joins: greedily reorder the relational from-items by
+            estimated cardinality (smallest filtered input first,
+            connected equi-joins before cross products). Off, joins run
+            in FROM order.
+    """
+
+    def __init__(
+        self,
+        push_path_filters: bool = True,
+        infer_path_length: bool = True,
+        default_traversal: str = "DFS",
+        reachability_shortcut: bool = True,
+        default_max_path_length: Optional[int] = None,
+        reorder_joins: bool = True,
+    ):
+        self.push_path_filters = push_path_filters
+        self.infer_path_length = infer_path_length
+        self.default_traversal = default_traversal.upper()
+        self.reachability_shortcut = reachability_shortcut
+        self.default_max_path_length = default_max_path_length
+        self.reorder_joins = reorder_joins
+
+    def copy(self, **overrides) -> "PlannerOptions":
+        values = {
+            "push_path_filters": self.push_path_filters,
+            "infer_path_length": self.infer_path_length,
+            "default_traversal": self.default_traversal,
+            "reachability_shortcut": self.reachability_shortcut,
+            "default_max_path_length": self.default_max_path_length,
+            "reorder_joins": self.reorder_joins,
+        }
+        values.update(overrides)
+        return PlannerOptions(**values)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlannerOptions(push={self.push_path_filters}, "
+            f"infer={self.infer_path_length}, "
+            f"default={self.default_traversal!r}, "
+            f"shortcut={self.reachability_shortcut}, "
+            f"max_len={self.default_max_path_length})"
+        )

@@ -1,0 +1,251 @@
+"""Interactive SQL shell: ``python -m repro.shell``.
+
+A small REPL over one :class:`~repro.core.database.Database` instance.
+Statements end with ``;`` and may span lines. Dot-commands:
+
+====================  ====================================================
+``.help``             this text
+``.tables``           list tables, views and graph views
+``.schema NAME``      columns of a table/view, or structure of a graph view
+``.explain SQL``      physical plan of a SELECT (no trailing ``;`` needed)
+``.timer on|off``     print wall-clock time per statement
+``.run FILE``         execute a ``;``-separated SQL script from a file
+``.quit``             exit
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Iterable, List, Optional, TextIO
+
+from .core.database import Database
+from .core.result import ResultSet
+from .errors import DatabaseError
+
+PROMPT = "repro> "
+CONTINUATION = "  ...> "
+
+_HELP = __doc__.split("Dot-commands:", 1)[1]
+
+
+def format_result(result: ResultSet, max_rows: int = 200) -> str:
+    """Render a result set as an aligned text table."""
+    if not result.columns:
+        return f"ok ({result.rowcount} row(s) affected)"
+    headers = result.columns
+    rows = [[_cell(v) for v in row] for row in result.rows[:max_rows]]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = [
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            " | ".join(value.ljust(widths[i]) for i, value in enumerate(row))
+        )
+    if len(result.rows) > max_rows:
+        lines.append(f"... ({len(result.rows)} rows total)")
+    else:
+        lines.append(f"({len(result.rows)} row(s))")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+class Shell:
+    """The REPL engine, factored for testability (streams injectable)."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        out: TextIO = sys.stdout,
+    ):
+        self.db = database or Database()
+        self.out = out
+        self.timer = False
+        self._buffer: List[str] = []
+        self.done = False
+
+    # ------------------------------------------------------------------
+
+    def write(self, text: str) -> None:
+        print(text, file=self.out)
+
+    def prompt(self) -> str:
+        return CONTINUATION if self._buffer else PROMPT
+
+    def feed_line(self, line: str) -> None:
+        """Process one input line (may or may not complete a statement)."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("."):
+            self._dot_command(stripped)
+            return
+        if not stripped and not self._buffer:
+            return
+        self._buffer.append(line)
+        joined = "\n".join(self._buffer)
+        if stripped.endswith(";"):
+            self._buffer = []
+            self.execute_statement(joined)
+
+    def execute_statement(self, sql: str) -> None:
+        started = time.perf_counter()
+        try:
+            result = self.db.execute(sql)
+        except DatabaseError as error:
+            self.write(f"error: {error}")
+            return
+        self.write(format_result(result))
+        if self.timer:
+            self.write(f"time: {(time.perf_counter() - started) * 1000:.2f} ms")
+
+    # ------------------------------------------------------------------
+    # dot commands
+    # ------------------------------------------------------------------
+
+    def _dot_command(self, line: str) -> None:
+        parts = line.split(None, 1)
+        command = parts[0].lower()
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if command in (".quit", ".exit"):
+            self.done = True
+        elif command == ".help":
+            self.write(_HELP.strip())
+        elif command == ".tables":
+            self._list_objects()
+        elif command == ".schema":
+            self._show_schema(argument)
+        elif command == ".explain":
+            self._explain(argument)
+        elif command == ".timer":
+            if argument.lower() in ("on", "off"):
+                self.timer = argument.lower() == "on"
+                self.write(f"timer {'on' if self.timer else 'off'}")
+            else:
+                self.write("usage: .timer on|off")
+        elif command == ".run":
+            self._run_script(argument)
+        else:
+            self.write(f"unknown command {command} (try .help)")
+
+    def _list_objects(self) -> None:
+        catalog = self.db.catalog
+        for table in sorted(catalog.tables(), key=lambda t: t.name.lower()):
+            self.write(f"table       {table.name} ({table.row_count} rows)")
+        for name in sorted(catalog._views):
+            view = catalog.view(name)
+            self.write(
+                f"view        {view.name} ({view.table.row_count} rows)"
+            )
+        for view in sorted(
+            catalog.graph_views(), key=lambda v: v.name.lower()
+        ):
+            self.write(
+                f"graph view  {view.name} (|V|="
+                f"{view.topology.vertex_count}, |E|="
+                f"{view.topology.edge_count})"
+            )
+
+    def _show_schema(self, name: str) -> None:
+        if not name:
+            self.write("usage: .schema NAME")
+            return
+        catalog = self.db.catalog
+        if catalog.has_graph_view(name):
+            view = catalog.graph_view(name)
+            direction = "directed" if view.directed else "undirected"
+            self.write(f"graph view {view.name} ({direction})")
+            self.write(
+                f"  vertexes from {view.vertex_table.name}: "
+                f"Id + {', '.join(view.vertex_schema.names) or '(no attrs)'}"
+            )
+            self.write(
+                f"  edges from {view.edge_table.name}: Id, From, To + "
+                f"{', '.join(view.edge_schema.names) or '(no attrs)'}"
+            )
+            return
+        try:
+            table = (
+                catalog.table(name)
+                if catalog.has_table(name)
+                else catalog.view(name).table
+            )
+        except DatabaseError:
+            self.write(f"unknown object: {name}")
+            return
+        for column in table.schema.columns:
+            flags = []
+            if column.primary_key:
+                flags.append("PRIMARY KEY")
+            elif not column.nullable:
+                flags.append("NOT NULL")
+            suffix = (" " + " ".join(flags)) if flags else ""
+            self.write(f"  {column.name} {column.sql_type.value}{suffix}")
+
+    def _explain(self, sql: str) -> None:
+        if not sql:
+            self.write("usage: .explain SELECT ...")
+            return
+        try:
+            self.write(self.db.explain(sql.rstrip(";")))
+        except DatabaseError as error:
+            self.write(f"error: {error}")
+
+    def _run_script(self, path: str) -> None:
+        if not path:
+            self.write("usage: .run FILE")
+            return
+        try:
+            with open(path) as handle:
+                script = handle.read()
+        except OSError as error:
+            self.write(f"cannot read {path}: {error}")
+            return
+        try:
+            results = self.db.execute_script(script)
+        except DatabaseError as error:
+            self.write(f"error: {error}")
+            return
+        self.write(f"ok ({len(results)} statement(s))")
+
+    # ------------------------------------------------------------------
+
+    def run(self, lines: Optional[Iterable[str]] = None) -> None:
+        """Main loop; reads stdin unless ``lines`` is supplied."""
+        self.write("repro shell — graphs inside a relational database")
+        self.write("statements end with ';' — .help for commands")
+        if lines is not None:
+            for line in lines:
+                if self.done:
+                    break
+                self.feed_line(line)
+            return
+        while not self.done:
+            try:
+                line = input(self.prompt())
+            except EOFError:
+                break
+            except KeyboardInterrupt:
+                self._buffer = []
+                self.write("")
+                continue
+            self.feed_line(line)
+
+
+def main() -> None:  # pragma: no cover - thin CLI wrapper
+    Shell().run()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

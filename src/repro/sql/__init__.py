@@ -1,0 +1,22 @@
+"""SQL front end (system S2): lexer, AST, and recursive-descent parser.
+
+The dialect is the VoltDB-flavoured subset the paper relies on, plus the
+paper's extensions: ``CREATE GRAPH VIEW`` (Listing 1), the ``PATHS`` /
+``VERTEXES`` / ``EDGES`` constructs in ``FROM`` (Section 4), path element
+indexing (``PS.Edges[0..*].attr``), and traversal hints
+(``HINT(SHORTESTPATH(w))``, Listing 6).
+"""
+
+from .lexer import Lexer, Token, TokenType
+from .parser import Parser, parse_statement, parse_script
+from . import ast
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenType",
+    "Parser",
+    "parse_statement",
+    "parse_script",
+    "ast",
+]

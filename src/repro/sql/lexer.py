@@ -1,0 +1,244 @@
+"""Hand-written SQL lexer.
+
+Produces a flat token stream. Keywords are recognized case-insensitively;
+identifiers preserve their written case (lookups elsewhere are
+case-insensitive). Supports ``--`` line comments and ``/* */`` block
+comments, single-quoted strings with ``''`` escaping, and double-quoted
+identifiers.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+from typing import Iterator, List, Optional
+
+from ..errors import SqlSyntaxError
+
+
+class TokenType(Enum):
+    IDENTIFIER = auto()
+    KEYWORD = auto()
+    INTEGER = auto()
+    FLOAT = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PUNCTUATION = auto()
+    EOF = auto()
+
+
+# Keywords of the dialect, including the paper's graph extensions.
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER ASC DESC LIMIT OFFSET TOP
+    DISTINCT AS AND OR NOT IN IS NULL LIKE BETWEEN EXISTS
+    INSERT INTO VALUES UPDATE SET DELETE TRUNCATE
+    CREATE TABLE INDEX UNIQUE VIEW MATERIALIZED DROP ALTER ADD
+    PRIMARY KEY FOREIGN REFERENCES DEFAULT CHECK
+    GRAPH VERTEXES EDGES PATHS UNDIRECTED DIRECTED HINT SHORTESTPATH
+    DFS BFS
+    JOIN INNER LEFT RIGHT OUTER ON CROSS
+    TRUE FALSE
+    COUNT SUM AVG MIN MAX
+    UNION ALL CASE WHEN THEN ELSE END CAST
+    """.split()
+)
+
+_OPERATORS = (
+    "<=",
+    ">=",
+    "<>",
+    "!=",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "||",
+)
+
+_PUNCTUATION = "(),.;[]?"
+
+
+class Token:
+    __slots__ = ("type", "value", "line", "column")
+
+    def __init__(self, type_: TokenType, value: str, line: int, column: int):
+        self.type = type_
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def matches(self, type_: TokenType, value: Optional[str] = None) -> bool:
+        if self.type is not type_:
+            return False
+        if value is None:
+            return True
+        if type_ in (TokenType.KEYWORD, TokenType.OPERATOR, TokenType.PUNCTUATION):
+            return self.value.upper() == value.upper()
+        return self.value == value
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+class Lexer:
+    """Tokenize a SQL string; iterate or call :meth:`tokens`."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> List[Token]:
+        return list(self)
+
+    def __iter__(self) -> Iterator[Token]:
+        while True:
+            token = self._next_token()
+            yield token
+            if token.type is TokenType.EOF:
+                return
+
+    # ------------------------------------------------------------------
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        return SqlSyntaxError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.position < len(self.text):
+                if self.text[self.position] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.position += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.position < len(self.text):
+            ch = self._peek()
+            if ch.isspace():
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self.position < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.position < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        line, column = self.line, self.column
+        if self.position >= len(self.text):
+            return Token(TokenType.EOF, "", line, column)
+        ch = self._peek()
+        # Numbers must start with a digit: a leading '.' is always the
+        # member-access / path-range punctuation (e.g. ``Edges[0..*]``).
+        if ch.isdigit():
+            return self._lex_number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(line, column)
+        if ch == "'":
+            return self._lex_string(line, column)
+        if ch == '"':
+            return self._lex_quoted_identifier(line, column)
+        for op in _OPERATORS:
+            if self.text.startswith(op, self.position):
+                self._advance(len(op))
+                return Token(TokenType.OPERATOR, op, line, column)
+        if ch in _PUNCTUATION:
+            self._advance()
+            return Token(TokenType.PUNCTUATION, ch, line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.position
+        saw_dot = False
+        saw_exp = False
+        while self.position < len(self.text):
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not saw_dot and not saw_exp:
+                # ".." is the path range operator, not a decimal point
+                if self._peek(1) == ".":
+                    break
+                saw_dot = True
+                self._advance()
+            elif ch in "eE" and not saw_exp and self._peek(1).isdigit():
+                saw_exp = True
+                self._advance(2)
+            elif (
+                ch in "eE"
+                and not saw_exp
+                and self._peek(1) in "+-"
+                and self._peek(2).isdigit()
+            ):
+                saw_exp = True
+                self._advance(3)
+            else:
+                break
+        text = self.text[start : self.position]
+        if saw_dot or saw_exp:
+            return Token(TokenType.FLOAT, text, line, column)
+        return Token(TokenType.INTEGER, text, line, column)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self.position
+        while self.position < len(self.text) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        text = self.text[start : self.position]
+        if text.upper() in KEYWORDS:
+            # Keywords keep their written case (matching is done
+            # case-insensitively) so that keyword-named attributes like
+            # ``PS.Edges`` round-trip verbatim through the AST.
+            return Token(TokenType.KEYWORD, text, line, column)
+        return Token(TokenType.IDENTIFIER, text, line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        parts: List[str] = []
+        while True:
+            if self.position >= len(self.text):
+                raise self._error("unterminated string literal")
+            ch = self._peek()
+            if ch == "'":
+                if self._peek(1) == "'":
+                    parts.append("'")
+                    self._advance(2)
+                else:
+                    self._advance()
+                    break
+            else:
+                parts.append(ch)
+                self._advance()
+        return Token(TokenType.STRING, "".join(parts), line, column)
+
+    def _lex_quoted_identifier(self, line: int, column: int) -> Token:
+        self._advance()
+        start = self.position
+        while self.position < len(self.text) and self._peek() != '"':
+            self._advance()
+        if self.position >= len(self.text):
+            raise self._error("unterminated quoted identifier")
+        text = self.text[start : self.position]
+        self._advance()
+        return Token(TokenType.IDENTIFIER, text, line, column)

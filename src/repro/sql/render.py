@@ -1,0 +1,273 @@
+"""Render AST nodes back to SQL text.
+
+The inverse of the parser, used by:
+
+* database snapshots — view definitions are persisted as SQL and
+  replayed on restore;
+* debugging / logging — any planned statement can be shown as SQL.
+
+``parse_statement(render_statement(x))`` produces an AST structurally
+equal to ``x`` for every statement the dialect accepts (property-tested
+over a corpus in ``tests/test_render.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import PlanningError
+from . import ast
+
+# operators whose operands need parentheses to survive re-parsing with
+# the right precedence; we parenthesize conservatively instead
+_BINARY_TEXT = {
+    "AND": "AND",
+    "OR": "OR",
+    "=": "=",
+    "<>": "<>",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "%",
+    "||": "||",
+}
+
+
+def render_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        text = repr(value)
+        # ensure it re-parses as a FLOAT token
+        return text if ("." in text or "e" in text or "E" in text) else text + ".0"
+    return str(value)
+
+
+def render_expression(node: ast.Expression) -> str:
+    """SQL text for one expression (conservatively parenthesized)."""
+    if isinstance(node, ast.Literal):
+        return render_literal(node.value)
+    if isinstance(node, ast.Parameter):
+        return "?"
+    if isinstance(node, ast.Identifier):
+        return node.name
+    if isinstance(node, ast.Star):
+        return f"{node.qualifier}.*" if node.qualifier else "*"
+    if isinstance(node, ast.FieldAccess):
+        parts = [node.base]
+        for accessor in node.accessors:
+            if isinstance(accessor, ast.NameAccessor):
+                parts.append(f".{accessor.name}")
+            elif isinstance(accessor, ast.IndexAccessor):
+                parts.append(f"[{accessor.index}]")
+            elif isinstance(accessor, ast.RangeAccessor):
+                end = "*" if accessor.end is None else str(accessor.end)
+                parts.append(f"[{accessor.start}..{end}]")
+        return "".join(parts)
+    if isinstance(node, ast.UnaryOp):
+        operand = render_expression(node.operand)
+        if node.op == "NOT":
+            # NOT binds looser than postfix predicates (IS NULL, IN,
+            # BETWEEN), so the whole negation needs its own parentheses
+            return f"(NOT ({operand}))"
+        return f"{node.op}({operand})"
+    if isinstance(node, ast.BinaryOp):
+        op = _BINARY_TEXT.get(node.op)
+        if op is None:
+            raise PlanningError(f"cannot render operator {node.op}")
+        left = render_expression(node.left)
+        right = render_expression(node.right)
+        return f"({left} {op} {right})"
+    if isinstance(node, ast.InList):
+        operand = render_expression(node.operand)
+        items = ", ".join(render_expression(i) for i in node.items)
+        negation = "NOT " if node.negated else ""
+        return f"({operand} {negation}IN ({items}))"
+    if isinstance(node, ast.InSubquery):
+        operand = render_expression(node.operand)
+        negation = "NOT " if node.negated else ""
+        return f"({operand} {negation}IN ({render_select(node.subquery)}))"
+    if isinstance(node, ast.ScalarSubquery):
+        return f"({render_select(node.subquery)})"
+    if isinstance(node, ast.ExistsSubquery):
+        prefix = "NOT " if node.negated else ""
+        return f"{prefix}EXISTS ({render_select(node.subquery)})"
+    if isinstance(node, ast.Between):
+        operand = render_expression(node.operand)
+        negation = "NOT " if node.negated else ""
+        low = render_expression(node.low)
+        high = render_expression(node.high)
+        return f"({operand} {negation}BETWEEN {low} AND {high})"
+    if isinstance(node, ast.IsNull):
+        operand = render_expression(node.operand)
+        middle = "IS NOT NULL" if node.negated else "IS NULL"
+        return f"({operand} {middle})"
+    if isinstance(node, ast.Like):
+        operand = render_expression(node.operand)
+        negation = "NOT " if node.negated else ""
+        pattern = render_expression(node.pattern)
+        return f"({operand} {negation}LIKE {pattern})"
+    if isinstance(node, ast.FunctionCall):
+        distinct = "DISTINCT " if node.distinct else ""
+        args = ", ".join(render_expression(a) for a in node.args)
+        return f"{node.name}({distinct}{args})"
+    if isinstance(node, ast.CaseWhen):
+        parts = ["CASE"]
+        for condition, result in node.branches:
+            parts.append(
+                f"WHEN {render_expression(condition)} "
+                f"THEN {render_expression(result)}"
+            )
+        if node.otherwise is not None:
+            parts.append(f"ELSE {render_expression(node.otherwise)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(node, ast.Cast):
+        return f"CAST({render_expression(node.operand)} AS {node.type_name})"
+    raise PlanningError(f"cannot render expression {type(node).__name__}")
+
+
+def _render_from_item(item: ast.FromItem) -> str:
+    if isinstance(item, ast.TableRef):
+        if item.alias and item.alias != item.name:
+            return f"{item.name} {item.alias}"
+        return item.name
+    if isinstance(item, ast.GraphRef):
+        base = f"{item.graph_name}.{item.element.capitalize()} {item.alias}"
+        if item.hint is not None:
+            if item.hint.kind == "SHORTESTPATH":
+                base += f" HINT(SHORTESTPATH({item.hint.weight_attribute}))"
+            else:
+                base += f" HINT({item.hint.kind})"
+        return base
+    if isinstance(item, ast.SubquerySource):
+        return f"({render_select(item.query)}) {item.alias}"
+    if isinstance(item, ast.Join):
+        left = _render_from_item(item.left)
+        right = _render_from_item(item.right)
+        if item.kind == "CROSS":
+            return f"{left} CROSS JOIN {right}"
+        keyword = "LEFT JOIN" if item.kind == "LEFT" else "JOIN"
+        condition = render_expression(item.condition)
+        return f"{left} {keyword} {right} ON {condition}"
+    raise PlanningError(f"cannot render from-item {type(item).__name__}")
+
+
+def render_select(select: ast.Select) -> str:
+    parts: List[str] = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in select.items:
+        text = render_expression(item.expression)
+        if item.alias:
+            text += f" AS {item.alias}"
+        items.append(text)
+    parts.append(", ".join(items))
+    parts.append("FROM")
+    parts.append(", ".join(_render_from_item(i) for i in select.from_items))
+    if select.where is not None:
+        parts.append(f"WHERE {render_expression(select.where)}")
+    if select.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(render_expression(g) for g in select.group_by)
+        )
+    if select.having is not None:
+        parts.append(f"HAVING {render_expression(select.having)}")
+    if select.order_by:
+        orders = []
+        for order in select.order_by:
+            direction = "ASC" if order.ascending else "DESC"
+            orders.append(f"{render_expression(order.expression)} {direction}")
+        parts.append("ORDER BY " + ", ".join(orders))
+    if select.limit is not None:
+        parts.append(f"LIMIT {select.limit}")
+    if select.offset is not None:
+        parts.append(f"OFFSET {select.offset}")
+    return " ".join(parts)
+
+
+def render_statement(statement: ast.Statement) -> str:
+    """SQL text for any statement the dialect accepts."""
+    if isinstance(statement, ast.Select):
+        return render_select(statement)
+    if isinstance(statement, ast.SetOperation):
+        keyword = "UNION ALL" if statement.all_rows else "UNION"
+        return (
+            f"{render_statement(statement.left)} {keyword} "
+            f"{render_statement(statement.right)}"
+        )
+    if isinstance(statement, ast.CreateTable):
+        columns = []
+        for column in statement.columns:
+            text = f"{column.name} {column.type_name}"
+            if column.primary_key:
+                text += " PRIMARY KEY"
+            elif column.not_null:
+                text += " NOT NULL"
+            columns.append(text)
+        return f"CREATE TABLE {statement.name} ({', '.join(columns)})"
+    if isinstance(statement, ast.CreateIndex):
+        unique = "UNIQUE " if statement.unique else ""
+        return (
+            f"CREATE {unique}INDEX {statement.name} ON {statement.table} "
+            f"({', '.join(statement.columns)})"
+        )
+    if isinstance(statement, ast.CreateView):
+        return f"CREATE VIEW {statement.name} AS {render_select(statement.query)}"
+    if isinstance(statement, ast.CreateGraphView):
+        direction = "DIRECTED" if statement.directed else "UNDIRECTED"
+        vertexes = ", ".join(f"{a} = {c}" for a, c in statement.vertex_mappings)
+        edges = ", ".join(f"{a} = {c}" for a, c in statement.edge_mappings)
+        return (
+            f"CREATE {direction} GRAPH VIEW {statement.name} "
+            f"VERTEXES({vertexes}) FROM {statement.vertex_source} "
+            f"EDGES({edges}) FROM {statement.edge_source}"
+        )
+    if isinstance(statement, ast.AlterGraphViewAddSource):
+        mappings = ", ".join(f"{a} = {c}" for a, c in statement.mappings)
+        return (
+            f"ALTER GRAPH VIEW {statement.name} ADD {statement.element}"
+            f"({mappings}) FROM {statement.source}"
+        )
+    if isinstance(statement, ast.Drop):
+        return f"DROP {statement.kind} {statement.name}"
+    if isinstance(statement, ast.Insert):
+        columns = f" ({', '.join(statement.columns)})" if statement.columns else ""
+        if statement.query is not None:
+            return (
+                f"INSERT INTO {statement.table}{columns} "
+                f"{render_select(statement.query)}"
+            )
+        rows = ", ".join(
+            "(" + ", ".join(render_expression(v) for v in row) + ")"
+            for row in statement.rows
+        )
+        return f"INSERT INTO {statement.table}{columns} VALUES {rows}"
+    if isinstance(statement, ast.Update):
+        assignments = ", ".join(
+            f"{column} = {render_expression(value)}"
+            for column, value in statement.assignments
+        )
+        sql = f"UPDATE {statement.table} SET {assignments}"
+        if statement.where is not None:
+            sql += f" WHERE {render_expression(statement.where)}"
+        return sql
+    if isinstance(statement, ast.Delete):
+        sql = f"DELETE FROM {statement.table}"
+        if statement.where is not None:
+            sql += f" WHERE {render_expression(statement.where)}"
+        return sql
+    if isinstance(statement, ast.Truncate):
+        return f"TRUNCATE TABLE {statement.table}"
+    raise PlanningError(f"cannot render statement {type(statement).__name__}")

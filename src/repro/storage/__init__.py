@@ -1,0 +1,22 @@
+"""In-memory relational storage substrate (system S1).
+
+Row-oriented tables with stable tuple pointers, hash and ordered secondary
+indexes, and a catalog of tables / views / graph views. This is the
+VoltDB-like storage layer the rest of the engine (and the graph views of
+the paper) sit on.
+"""
+
+from .schema import Column, TableSchema
+from .table import Table, TuplePointer
+from .index import HashIndex, OrderedIndex
+from .catalog import Catalog
+
+__all__ = [
+    "Column",
+    "TableSchema",
+    "Table",
+    "TuplePointer",
+    "HashIndex",
+    "OrderedIndex",
+    "Catalog",
+]

@@ -1,0 +1,159 @@
+"""Secondary indexes: hash (equality) and ordered (range).
+
+Indexes map key tuples extracted from rows to slot numbers. They are
+maintained eagerly by :class:`~repro.storage.table.Table` on every
+mutation. The ordered index is a sorted list with binary search — the
+in-memory analogue of VoltDB's tree index.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ConstraintViolation
+from .schema import TableSchema
+
+
+class Index:
+    """Base class: key extraction shared by both index kinds."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: TableSchema,
+        key_columns: Sequence[str],
+        unique: bool = False,
+    ):
+        self.name = name
+        self.key_columns: Tuple[str, ...] = tuple(key_columns)
+        self.key_positions: Tuple[int, ...] = tuple(
+            schema.position_of(c) for c in key_columns
+        )
+        self.unique = unique
+
+    def key_of(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        return tuple(row[i] for i in self.key_positions)
+
+    # interface ---------------------------------------------------------
+
+    def insert(self, row: Sequence[Any], slot: int) -> None:
+        raise NotImplementedError
+
+    def delete(self, row: Sequence[Any], slot: int) -> None:
+        raise NotImplementedError
+
+    def lookup(self, key: Sequence[Any]) -> List[int]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class HashIndex(Index):
+    """Equality index: key tuple -> list of slots."""
+
+    def __init__(self, name, schema, key_columns, unique=False):
+        super().__init__(name, schema, key_columns, unique)
+        self._buckets: Dict[Tuple[Any, ...], List[int]] = {}
+        self._size = 0
+
+    def insert(self, row: Sequence[Any], slot: int) -> None:
+        key = self.key_of(row)
+        bucket = self._buckets.setdefault(key, [])
+        if self.unique and bucket:
+            raise ConstraintViolation(
+                f"index {self.name}: duplicate key {key}"
+            )
+        bucket.append(slot)
+        self._size += 1
+
+    def delete(self, row: Sequence[Any], slot: int) -> None:
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if bucket and slot in bucket:
+            bucket.remove(slot)
+            self._size -= 1
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key: Sequence[Any]) -> List[int]:
+        return list(self._buckets.get(tuple(key), ()))
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class OrderedIndex(Index):
+    """Range index backed by a sorted list of ``(key, slot)`` pairs.
+
+    NULLs are excluded from the index (SQL range predicates never match
+    NULL anyway), which keeps keys totally ordered.
+    """
+
+    def __init__(self, name, schema, key_columns, unique=False):
+        super().__init__(name, schema, key_columns, unique)
+        self._entries: List[Tuple[Tuple[Any, ...], int]] = []
+
+    def insert(self, row: Sequence[Any], slot: int) -> None:
+        key = self.key_of(row)
+        if any(part is None for part in key):
+            return
+        position = bisect.bisect_left(self._entries, (key, -1))
+        if self.unique and position < len(self._entries):
+            if self._entries[position][0] == key:
+                raise ConstraintViolation(
+                    f"index {self.name}: duplicate key {key}"
+                )
+        self._entries.insert(position, (key, slot))
+
+    def delete(self, row: Sequence[Any], slot: int) -> None:
+        key = self.key_of(row)
+        if any(part is None for part in key):
+            return
+        position = bisect.bisect_left(self._entries, (key, -1))
+        while position < len(self._entries) and self._entries[position][0] == key:
+            if self._entries[position][1] == slot:
+                del self._entries[position]
+                return
+            position += 1
+
+    def lookup(self, key: Sequence[Any]) -> List[int]:
+        key = tuple(key)
+        position = bisect.bisect_left(self._entries, (key, -1))
+        slots = []
+        while position < len(self._entries) and self._entries[position][0] == key:
+            slots.append(self._entries[position][1])
+            position += 1
+        return slots
+
+    def range_scan(
+        self,
+        low: Optional[Sequence[Any]] = None,
+        high: Optional[Sequence[Any]] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[int]:
+        """Yield slots whose keys fall in ``[low, high]`` (bounds optional)."""
+        if low is None:
+            start = 0
+        else:
+            low = tuple(low)
+            if low_inclusive:
+                start = bisect.bisect_left(self._entries, (low, -1))
+            else:
+                start = bisect.bisect_right(
+                    self._entries, (low, float("inf"))
+                )
+        for key, slot in self._entries[start:]:
+            if high is not None:
+                high_key = tuple(high)
+                if high_inclusive:
+                    if key > high_key:
+                        break
+                elif key >= high_key:
+                    break
+            yield slot
+
+    def __len__(self) -> int:
+        return len(self._entries)

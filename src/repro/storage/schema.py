@@ -1,0 +1,134 @@
+"""Table schemas: typed, named columns with constraint flags."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import CatalogError, ConstraintViolation
+from ..types import SqlType, coerce
+
+
+class Column:
+    """A single column definition.
+
+    Attributes:
+        name: Column name as declared (case preserved; lookups are
+            case-insensitive).
+        sql_type: Declared :class:`~repro.types.SqlType`.
+        nullable: Whether NULL is allowed. Primary-key columns are
+            implicitly NOT NULL.
+        primary_key: Whether this column is (part of) the primary key.
+    """
+
+    __slots__ = ("name", "sql_type", "nullable", "primary_key")
+
+    def __init__(
+        self,
+        name: str,
+        sql_type: SqlType,
+        nullable: bool = True,
+        primary_key: bool = False,
+    ):
+        self.name = name
+        self.sql_type = sql_type
+        self.primary_key = primary_key
+        self.nullable = nullable and not primary_key
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.primary_key:
+            flags.append("PRIMARY KEY")
+        elif not self.nullable:
+            flags.append("NOT NULL")
+        suffix = (" " + " ".join(flags)) if flags else ""
+        return f"Column({self.name} {self.sql_type.value}{suffix})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Column)
+            and self.name.lower() == other.name.lower()
+            and self.sql_type is other.sql_type
+            and self.nullable == other.nullable
+            and self.primary_key == other.primary_key
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name.lower(), self.sql_type))
+
+
+class TableSchema:
+    """An ordered collection of :class:`Column` with fast name lookup."""
+
+    def __init__(self, columns: Sequence[Column]):
+        if not columns:
+            raise CatalogError("a table needs at least one column")
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._index_by_name: Dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            key = column.name.lower()
+            if key in self._index_by_name:
+                raise CatalogError(f"duplicate column name: {column.name}")
+            self._index_by_name[key] = position
+        self.primary_key_positions: Tuple[int, ...] = tuple(
+            i for i, c in enumerate(self.columns) if c.primary_key
+        )
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index_by_name
+
+    def position_of(self, name: str) -> int:
+        """Return the ordinal position of ``name``; raise if unknown."""
+        try:
+            return self._index_by_name[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown column: {name}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position_of(name)]
+
+    def coerce_row(
+        self, values: Sequence[Any], table_name: str = "?"
+    ) -> Tuple[Any, ...]:
+        """Validate and coerce a full row of values against this schema.
+
+        Enforces arity, per-column type coercion, and NOT NULL. Returns
+        the row as an immutable tuple ready for storage.
+        """
+        if len(values) != len(self.columns):
+            raise ConstraintViolation(
+                f"table {table_name}: expected {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        out = []
+        for column, value in zip(self.columns, values):
+            coerced = coerce(value, column.sql_type, column.name)
+            if coerced is None and not column.nullable:
+                raise ConstraintViolation(
+                    f"table {table_name}: column {column.name} is NOT NULL"
+                )
+            out.append(coerced)
+        return tuple(out)
+
+    def primary_key_of(self, row: Sequence[Any]) -> Optional[Tuple[Any, ...]]:
+        """Extract the primary-key tuple from a stored row (or None)."""
+        if not self.primary_key_positions:
+            return None
+        return tuple(row[i] for i in self.primary_key_positions)
+
+    def project(self, names: Iterable[str]) -> "TableSchema":
+        """Build a derived schema containing only ``names`` (in order)."""
+        return TableSchema([self.column(n) for n in names])
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.sql_type.value}" for c in self.columns)
+        return f"TableSchema({cols})"

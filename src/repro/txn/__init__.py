@@ -1,0 +1,12 @@
+"""Transactions (system S6).
+
+VoltDB executes transactions serially on a partition, so there is no
+lock manager: a transaction here is an undo log plus commit/rollback.
+Graph-view maintenance runs inside the mutating statement (through table
+listeners), so rolling the relational writes back also rolls the
+topology back — the serializable graph updates of Section 3.3.
+"""
+
+from .transactions import Transaction, TransactionManager, UndoListener
+
+__all__ = ["Transaction", "TransactionManager", "UndoListener"]

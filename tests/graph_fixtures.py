@@ -1,0 +1,64 @@
+"""Shared helpers for building graph views in tests."""
+
+from repro.graph import GraphView, build_graph_view
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import Table
+from repro.types import SqlType
+
+
+def make_graph_view(
+    vertices,
+    edges,
+    directed=True,
+    name="G",
+):
+    """Build a GraphView over freshly-created relational sources.
+
+    ``vertices``: iterable of ``(id, name)`` or plain ids.
+    ``edges``: iterable of ``(id, src, dst)`` or ``(id, src, dst, weight)``
+    or ``(id, src, dst, weight, label)``.
+
+    Returns ``(view, vertex_table, edge_table)``.
+    """
+    vertex_table = Table(
+        f"{name}_V",
+        TableSchema(
+            [
+                Column("id", SqlType.INTEGER, primary_key=True),
+                Column("name", SqlType.VARCHAR),
+            ]
+        ),
+    )
+    edge_table = Table(
+        f"{name}_E",
+        TableSchema(
+            [
+                Column("id", SqlType.INTEGER, primary_key=True),
+                Column("src", SqlType.INTEGER),
+                Column("dst", SqlType.INTEGER),
+                Column("w", SqlType.FLOAT),
+                Column("label", SqlType.VARCHAR),
+            ]
+        ),
+    )
+    for vertex in vertices:
+        if isinstance(vertex, tuple):
+            vertex_id, vertex_name = vertex
+        else:
+            vertex_id, vertex_name = vertex, f"v{vertex}"
+        vertex_table.insert((vertex_id, vertex_name))
+    for edge in edges:
+        edge = tuple(edge)
+        edge_id, src, dst = edge[:3]
+        weight = edge[3] if len(edge) > 3 else 1.0
+        label = edge[4] if len(edge) > 4 else "x"
+        edge_table.insert((edge_id, src, dst, weight, label))
+    view = build_graph_view(
+        name,
+        directed,
+        vertex_table,
+        [("ID", "id"), ("name", "name")],
+        edge_table,
+        [("ID", "id"), ("FROM", "src"), ("TO", "dst"), ("w", "w"), ("label", "label")],
+    )
+    return view, vertex_table, edge_table

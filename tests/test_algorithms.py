@@ -1,0 +1,181 @@
+"""Tests for whole-graph analytics over graph views (networkx oracle)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.algorithms import (
+    average_clustering,
+    clustering_coefficient,
+    connected_components,
+    degree_distribution,
+    estimate_diameter,
+    pagerank,
+    strongly_connected_components,
+)
+
+from .graph_fixtures import make_graph_view
+
+
+def two_islands():
+    """0-1-2 chain and 3-4 pair (undirected)."""
+    return make_graph_view(
+        [0, 1, 2, 3, 4],
+        [(1, 0, 1), (2, 1, 2), (3, 3, 4)],
+        directed=False,
+    )[0]
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        components = connected_components(two_islands())
+        assert [sorted(c) for c in components] == [[0, 1, 2], [3, 4]]
+
+    def test_directed_uses_weak_connectivity(self):
+        view = make_graph_view([0, 1, 2], [(1, 0, 1), (2, 2, 1)])[0]
+        components = connected_components(view)
+        assert len(components) == 1
+
+    def test_isolated_vertices(self):
+        view = make_graph_view([0, 1, 2], [])[0]
+        assert len(connected_components(view)) == 3
+
+    def test_edge_filter(self):
+        view, _vt, _et = make_graph_view(
+            [0, 1, 2],
+            [(1, 0, 1, 1.0, "keep"), (2, 1, 2, 1.0, "drop")],
+            directed=False,
+        )
+        read = view.edge_attribute_reader("label")
+        components = connected_components(
+            view, edge_filter=lambda e: read(e) == "keep"
+        )
+        assert [sorted(c) for c in components] == [[0, 1], [2]]
+
+
+class TestStronglyConnectedComponents:
+    def test_cycle_is_one_scc(self):
+        view = make_graph_view(
+            [0, 1, 2], [(1, 0, 1), (2, 1, 2), (3, 2, 0)]
+        )[0]
+        components = strongly_connected_components(view)
+        assert len(components) == 1
+        assert components[0] == {0, 1, 2}
+
+    def test_dag_gives_singletons(self):
+        view = make_graph_view([0, 1, 2], [(1, 0, 1), (2, 1, 2)])[0]
+        components = strongly_connected_components(view)
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == 3
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)),
+        unique=True,
+        max_size=20,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_networkx(self, pairs):
+        pairs = [(a, b) for a, b in pairs if a != b]
+        view = make_graph_view(
+            range(7), [(i, a, b) for i, (a, b) in enumerate(pairs)]
+        )[0]
+        ours = {frozenset(c) for c in strongly_connected_components(view)}
+        oracle_graph = nx.DiGraph()
+        oracle_graph.add_nodes_from(range(7))
+        oracle_graph.add_edges_from(pairs)
+        oracle = {
+            frozenset(c)
+            for c in nx.strongly_connected_components(oracle_graph)
+        }
+        assert ours == oracle
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self):
+        view = make_graph_view(
+            [0, 1, 2, 3], [(1, 0, 1), (2, 1, 2), (3, 2, 0), (4, 2, 3)]
+        )[0]
+        ranks = pagerank(view)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_hub_ranks_highest(self):
+        # everyone points at vertex 0
+        view = make_graph_view(
+            [0, 1, 2, 3], [(1, 1, 0), (2, 2, 0), (3, 3, 0)]
+        )[0]
+        ranks = pagerank(view)
+        assert ranks[0] == max(ranks.values())
+
+    def test_matches_networkx(self):
+        edges = [(1, 0, 1), (2, 1, 2), (3, 2, 0), (4, 2, 3), (5, 3, 0)]
+        view = make_graph_view([0, 1, 2, 3], edges)[0]
+        ours = pagerank(view, iterations=100, tolerance=1e-12)
+        oracle_graph = nx.DiGraph()
+        oracle_graph.add_nodes_from(range(4))
+        oracle_graph.add_edges_from([(a, b) for _i, a, b in edges])
+        oracle = nx.pagerank(oracle_graph, alpha=0.85, tol=1e-12)
+        for vertex in range(4):
+            assert ours[vertex] == pytest.approx(oracle[vertex], abs=1e-6)
+
+    def test_empty_graph(self):
+        view = make_graph_view([], [])[0]
+        assert pagerank(view) == {}
+
+    def test_invalid_damping(self):
+        view = make_graph_view([0], [])[0]
+        with pytest.raises(Exception):
+            pagerank(view, damping=1.5)
+
+
+class TestDiameterAndDegrees:
+    def test_chain_diameter(self):
+        view = make_graph_view(
+            range(6),
+            [(i, i, i + 1) for i in range(5)],
+            directed=False,
+        )[0]
+        assert estimate_diameter(view) == 5
+
+    def test_degree_distribution(self):
+        view = two_islands()
+        distribution = degree_distribution(view)
+        assert distribution == {1: 4, 2: 1}
+
+    def test_diameter_empty(self):
+        assert estimate_diameter(make_graph_view([], [])[0]) == 0
+
+
+class TestClustering:
+    def test_triangle_has_coefficient_one(self):
+        view = make_graph_view(
+            [0, 1, 2],
+            [(1, 0, 1), (2, 1, 2), (3, 2, 0)],
+            directed=False,
+        )[0]
+        assert clustering_coefficient(view, 0) == pytest.approx(1.0)
+        assert average_clustering(view) == pytest.approx(1.0)
+
+    def test_star_has_coefficient_zero(self):
+        view = make_graph_view(
+            [0, 1, 2, 3],
+            [(1, 0, 1), (2, 0, 2), (3, 0, 3)],
+            directed=False,
+        )[0]
+        assert clustering_coefficient(view, 0) == 0.0
+
+    def test_low_degree_is_zero(self):
+        view = make_graph_view([0, 1], [(1, 0, 1)], directed=False)[0]
+        assert clustering_coefficient(view, 0) == 0.0
+
+    def test_matches_networkx_on_undirected(self):
+        edges = [
+            (1, 0, 1), (2, 1, 2), (3, 2, 0), (4, 2, 3), (5, 3, 4), (6, 4, 2)
+        ]
+        view = make_graph_view(range(5), edges, directed=False)[0]
+        oracle_graph = nx.Graph()
+        oracle_graph.add_nodes_from(range(5))
+        oracle_graph.add_edges_from([(a, b) for _i, a, b in edges])
+        for vertex in range(5):
+            assert clustering_coefficient(view, vertex) == pytest.approx(
+                nx.clustering(oracle_graph, vertex)
+            )

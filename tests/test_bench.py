@@ -1,0 +1,159 @@
+"""Tests for the benchmark harness: workload generation, adaptive
+budgets, and report formatting."""
+
+import time
+
+from repro.bench import (
+    AdaptiveRunner,
+    Measurement,
+    adjacency_of,
+    bfs_distances,
+    connected_pairs,
+    format_series,
+    format_table,
+    reachability_pairs,
+    selectivity_predicate_sql,
+    speedup,
+    sweep,
+    time_call,
+)
+from repro.bench.workloads import selectivity_edge_filter
+from repro.datasets import protein_network, road_network
+
+
+class TestWorkloads:
+    def test_reachability_pairs_have_exact_distance(self):
+        dataset = road_network(width=12, height=12, seed=4)
+        adjacency = adjacency_of(dataset)
+        pairs = reachability_pairs(dataset, path_length=5, count=10, seed=4)
+        assert len(pairs) == 10
+        for source, target in pairs:
+            assert bfs_distances(adjacency, source)[target] == 5
+
+    def test_reachability_pairs_with_filter(self):
+        dataset = protein_network(n=300, attach=4, seed=4)
+        edge_filter = selectivity_edge_filter(50)
+        pairs = reachability_pairs(
+            dataset, path_length=3, count=5, seed=4, edge_filter=edge_filter
+        )
+        adjacency = adjacency_of(dataset, edge_filter)
+        for source, target in pairs:
+            assert bfs_distances(adjacency, source)[target] == 3
+
+    def test_connected_pairs_within_band(self):
+        dataset = road_network(width=10, height=10, seed=4)
+        adjacency = adjacency_of(dataset)
+        pairs = connected_pairs(
+            dataset, count=8, seed=4, min_distance=3, max_distance=7
+        )
+        assert pairs
+        for source, target in pairs:
+            assert 3 <= bfs_distances(adjacency, source)[target] <= 7
+
+    def test_selectivity_predicate_sql(self):
+        assert (
+            selectivity_predicate_sql("{alias}.esel", 20)
+            == "{alias}.esel < 20"
+        )
+
+    def test_edge_filter_matches_sql_semantics(self):
+        edge = (1, 2, 3, 1.0, "x", 19)
+        assert selectivity_edge_filter(20)(edge)
+        assert not selectivity_edge_filter(19)(edge)
+
+
+class TestHarness:
+    def test_time_call_measures(self):
+        elapsed = time_call(lambda: time.sleep(0.01))
+        assert elapsed >= 0.009
+
+    def test_adaptive_runner_skips_after_bust(self):
+        runner = AdaptiveRunner(budget_seconds=0.01)
+        first = runner.run("slow", 1, lambda: time.sleep(0.05))
+        assert not first.finished
+        second = runner.run("slow", 2, lambda: None)
+        assert not second.finished
+        assert "skipped" in second.dnf_reason
+
+    def test_adaptive_runner_keeps_fast_systems(self):
+        runner = AdaptiveRunner(budget_seconds=1.0)
+        result = runner.run("fast", 1, lambda: None)
+        assert result.finished
+        assert not runner.busted("fast")
+
+    def test_sweep_shapes(self):
+        systems = {
+            "a": lambda parameter: (lambda: None),
+            "b": lambda parameter: (lambda: None),
+        }
+        results = sweep(systems, [1, 2, 3], budget_seconds=1.0)
+        assert set(results) == {"a", "b"}
+        assert [x for x, _m in results["a"]] == [1, 2, 3]
+
+    def test_measurement_units(self):
+        assert Measurement(0.5).milliseconds() == 500.0
+        assert Measurement(None, "why").milliseconds() is None
+
+    def test_speedup(self):
+        assert speedup(Measurement(1.0), Measurement(0.1)) == 10.0
+        assert speedup(Measurement(None, "x"), Measurement(0.1)) is None
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "count"], [["road", 1024], ["twitter", 5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_format_series_with_dnf(self):
+        series = {
+            "grfusion": [(2, Measurement(0.001)), (4, Measurement(0.002))],
+            "sqlgraph": [(2, Measurement(0.1)), (4, Measurement(None, "boom"))],
+        }
+        text = format_series("Fig", "len", series)
+        assert "DNF" in text
+        assert "100.000" in text
+        assert "grfusion (ms)" in text
+
+
+class TestAsciiChart:
+    def test_chart_renders_bars_and_dnf(self):
+        from repro.bench import format_ascii_chart
+
+        series = {
+            "fast": [(2, Measurement(0.0001)), (4, Measurement(0.0002))],
+            "slow": [(2, Measurement(0.01)), (4, Measurement(None, "budget"))],
+        }
+        text = format_ascii_chart("Demo", "len", series)
+        assert "log scale" in text
+        assert "DNF" in text
+        assert "#" in text
+        # the slower bar must be longer
+        lines = text.splitlines()
+        fast_bar = next(l for l in lines if l.strip().startswith("fast"))
+        slow_bar = next(l for l in lines if l.strip().startswith("slow"))
+        assert slow_bar.count("#") > fast_bar.count("#")
+
+    def test_chart_with_no_measurements(self):
+        from repro.bench import format_ascii_chart
+
+        text = format_ascii_chart(
+            "Empty", "x", {"a": [(1, Measurement(None, "nope"))]}
+        )
+        assert "no finished measurements" in text
+
+    def test_linear_scale(self):
+        from repro.bench import format_ascii_chart
+
+        text = format_ascii_chart(
+            "Lin",
+            "x",
+            {"a": [(1, Measurement(0.001)), (2, Measurement(0.002))]},
+            log_scale=False,
+        )
+        assert "linear" in text

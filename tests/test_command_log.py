@@ -1,0 +1,118 @@
+"""Tests for command logging (snapshot + log = VoltDB-style recovery)."""
+
+import pytest
+
+from repro import Database, ExecutionError
+from repro.core.command_log import enable_command_log, replay_log
+
+
+def make_logged_db(tmp_path):
+    db = Database()
+    log = enable_command_log(db, str(tmp_path / "commands.log"))
+    return db, log
+
+
+class TestLogging:
+    def test_statements_logged_and_replayable(self, tmp_path):
+        db, log = make_logged_db(tmp_path)
+        db.execute("CREATE TABLE t (a INTEGER PRIMARY KEY, b VARCHAR)")
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        db.execute("UPDATE t SET b = 'z' WHERE a = 2")
+        db.execute("DELETE FROM t WHERE a = 1")
+        recovered = replay_log(str(log.path))
+        assert recovered.execute("SELECT a, b FROM t").rows == [(2, "z")]
+
+    def test_selects_not_logged(self, tmp_path):
+        db, log = make_logged_db(tmp_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("SELECT * FROM t")
+        content = log.path.read_text().strip().splitlines()
+        assert len(content) == 1
+
+    def test_failed_statement_not_logged(self, tmp_path):
+        db, log = make_logged_db(tmp_path)
+        db.execute("CREATE TABLE t (a INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(Exception):
+            db.execute("INSERT INTO t VALUES (1)")  # duplicate key
+        recovered = replay_log(str(log.path))
+        assert recovered.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_transaction_logged_at_commit(self, tmp_path):
+        db, log = make_logged_db(tmp_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.begin()
+        db.execute("INSERT INTO t VALUES (1)")
+        assert len(log.path.read_text().strip().splitlines()) == 1
+        db.commit()
+        assert len(log.path.read_text().strip().splitlines()) == 2
+
+    def test_rollback_discards_pending(self, tmp_path):
+        db, log = make_logged_db(tmp_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.begin()
+        db.execute("INSERT INTO t VALUES (1)")
+        db.rollback()
+        recovered = replay_log(str(log.path))
+        assert recovered.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_multiline_statement_round_trip(self, tmp_path):
+        db, log = make_logged_db(tmp_path)
+        db.execute("CREATE TABLE t (a VARCHAR)")
+        db.execute("INSERT INTO t VALUES ('line1\nline2')")
+        recovered = replay_log(str(log.path))
+        assert recovered.execute("SELECT a FROM t").scalar() == "line1\nline2"
+
+    def test_graph_views_recovered(self, tmp_path):
+        db, log = make_logged_db(tmp_path)
+        db.execute("CREATE TABLE V (id INTEGER PRIMARY KEY)")
+        db.execute(
+            "CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER)"
+        )
+        db.execute("INSERT INTO V VALUES (1), (2), (3)")
+        db.execute("INSERT INTO E VALUES (10, 1, 2), (11, 2, 3)")
+        db.execute(
+            "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id) FROM V "
+            "EDGES(ID = id, FROM = s, TO = d) FROM E"
+        )
+        db.execute("DELETE FROM E WHERE id = 11")
+        recovered = replay_log(str(log.path))
+        topology = recovered.graph_view("g").topology
+        assert topology.vertex_count == 3
+        assert topology.edge_count == 1
+
+    def test_detach_stops_logging(self, tmp_path):
+        db, log = make_logged_db(tmp_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        log.detach()
+        db.execute("INSERT INTO t VALUES (1)")
+        assert len(log.path.read_text().strip().splitlines()) == 1
+
+    def test_missing_log_raises(self):
+        with pytest.raises(ExecutionError):
+            replay_log("/nonexistent/commands.log")
+
+    def test_replay_error_reports_line(self, tmp_path):
+        log_path = tmp_path / "bad.log"
+        log_path.write_text("CREATE TABLE t (a INTEGER)\nSELECT garbage(\n")
+        with pytest.raises(ExecutionError, match="bad.log:2"):
+            replay_log(str(log_path))
+
+
+class TestSnapshotPlusLog:
+    def test_full_recovery_cycle(self, tmp_path):
+        """Snapshot, keep logging, crash, recover: snapshot + replay."""
+        db, log = make_logged_db(tmp_path)
+        db.execute("CREATE TABLE t (a INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        snapshot_path = tmp_path / "snap.json"
+        db.save_snapshot(str(snapshot_path))
+        log.truncate()  # log restarts at the snapshot point
+        db.execute("INSERT INTO t VALUES (3)")
+        db.execute("DELETE FROM t WHERE a = 1")
+
+        recovered = Database.load_snapshot(str(snapshot_path))
+        replay_log(str(log.path), recovered)
+        assert recovered.execute(
+            "SELECT a FROM t ORDER BY a"
+        ).column(0) == [2, 3]

@@ -1,0 +1,151 @@
+"""Tests for correlated subqueries (scalar / EXISTS / IN)."""
+
+import pytest
+
+from repro import Database, ExecutionError, PlanningError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE dept (name VARCHAR PRIMARY KEY, budget FLOAT)"
+    )
+    database.execute(
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, dept VARCHAR, "
+        "salary FLOAT)"
+    )
+    database.execute(
+        "INSERT INTO dept VALUES ('eng', 100.0), ('ops', 50.0), ('hr', 20.0)"
+    )
+    database.execute(
+        "INSERT INTO emp VALUES (1, 'eng', 90.0), (2, 'eng', 40.0), "
+        "(3, 'ops', 60.0), (4, 'ops', 10.0)"
+    )
+    return database
+
+
+class TestCorrelatedScalar:
+    def test_above_department_average(self, db):
+        result = db.execute(
+            "SELECT e.id FROM emp e WHERE e.salary > "
+            "(SELECT AVG(x.salary) FROM emp x WHERE x.dept = e.dept)"
+        )
+        assert sorted(result.column(0)) == [1, 3]
+
+    def test_scalar_in_select_list(self, db):
+        result = db.execute(
+            "SELECT d.name, (SELECT COUNT(*) FROM emp e "
+            "WHERE e.dept = d.name) FROM dept d ORDER BY d.name"
+        )
+        assert result.rows == [("eng", 2), ("hr", 0), ("ops", 2)]
+
+    def test_empty_correlation_gives_null(self, db):
+        result = db.execute(
+            "SELECT d.name FROM dept d WHERE "
+            "(SELECT MAX(e.salary) FROM emp e WHERE e.dept = d.name) IS NULL"
+        )
+        assert result.column(0) == ["hr"]
+
+    def test_multi_row_scalar_rejected_at_runtime(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute(
+                "SELECT d.name FROM dept d WHERE 1.0 = "
+                "(SELECT e.salary FROM emp e WHERE e.dept = d.name)"
+            )
+
+
+class TestCorrelatedExists:
+    def test_exists(self, db):
+        result = db.execute(
+            "SELECT d.name FROM dept d WHERE EXISTS "
+            "(SELECT 1 FROM emp e WHERE e.dept = d.name "
+            "AND e.salary > d.budget)"
+        )
+        assert result.column(0) == ["ops"]
+
+    def test_not_exists(self, db):
+        result = db.execute(
+            "SELECT d.name FROM dept d WHERE NOT EXISTS "
+            "(SELECT 1 FROM emp e WHERE e.dept = d.name) ORDER BY d.name"
+        )
+        assert result.column(0) == ["hr"]
+
+    def test_anti_join_pattern(self, db):
+        # employees with no colleague earning less in the same dept
+        result = db.execute(
+            "SELECT e.id FROM emp e WHERE NOT EXISTS "
+            "(SELECT 1 FROM emp x WHERE x.dept = e.dept "
+            "AND x.salary < e.salary)"
+        )
+        assert sorted(result.column(0)) == [2, 4]
+
+
+class TestCorrelatedIn:
+    def test_in(self, db):
+        result = db.execute(
+            "SELECT d.name FROM dept d WHERE 1 IN "
+            "(SELECT e.id FROM emp e WHERE e.dept = d.name)"
+        )
+        assert result.column(0) == ["eng"]
+
+    def test_not_in(self, db):
+        result = db.execute(
+            "SELECT d.name FROM dept d WHERE 1 NOT IN "
+            "(SELECT e.id FROM emp e WHERE e.dept = d.name) ORDER BY d.name"
+        )
+        assert result.column(0) == ["hr", "ops"]
+
+
+class TestCorrelatedWithGraphs:
+    def test_correlation_against_path_endpoint(self, db):
+        db.execute("CREATE TABLE V (id INTEGER PRIMARY KEY, grp VARCHAR)")
+        db.execute(
+            "CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER)"
+        )
+        db.execute(
+            "INSERT INTO V VALUES (1, 'eng'), (2, 'ops'), (3, 'hr')"
+        )
+        db.execute("INSERT INTO E VALUES (10, 1, 2), (11, 2, 3)")
+        db.execute(
+            "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id, grp = grp) "
+            "FROM V EDGES(ID = id, FROM = s, TO = d) FROM E"
+        )
+        # paths ending at a vertex whose group has at least one employee
+        result = db.execute(
+            "SELECT PS.PathString FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = 1 AND PS.Length <= 2 AND EXISTS "
+            "(SELECT 1 FROM emp e WHERE e.dept = PS.EndVertex.grp)"
+        )
+        assert sorted(result.column(0)) == ["1->2"]
+
+
+class TestLimitsAndErrors:
+    def test_two_level_correlation_rejected(self, db):
+        with pytest.raises(PlanningError, match="one subquery level"):
+            db.execute(
+                "SELECT d.name FROM dept d WHERE EXISTS "
+                "(SELECT 1 FROM emp e WHERE EXISTS "
+                "(SELECT 1 FROM emp x WHERE x.salary > d.budget))"
+            )
+
+    def test_uncorrelated_still_folds(self, db):
+        # same syntax without correlation: evaluated at plan time
+        plan = db.explain(
+            "SELECT d.name FROM dept d WHERE EXISTS (SELECT 1 FROM emp)"
+        )
+        assert "SeqScan(dept)" in plan
+        result = db.execute(
+            "SELECT COUNT(*) FROM dept d WHERE EXISTS (SELECT 1 FROM emp)"
+        )
+        assert result.scalar() == 3
+
+    def test_correlated_sees_current_data(self, db):
+        query = (
+            "SELECT d.name FROM dept d WHERE EXISTS "
+            "(SELECT 1 FROM emp e WHERE e.dept = d.name "
+            "AND e.salary > d.budget)"
+        )
+        assert db.execute(query).column(0) == ["ops"]
+        db.execute("INSERT INTO emp VALUES (9, 'hr', 999.0)")
+        assert sorted(db.execute(query).column(0)) == ["hr", "ops"]

@@ -1,0 +1,145 @@
+"""Tests for the synthetic dataset generators and loaders."""
+
+import pytest
+
+from repro.bench import adjacency_of, bfs_distances
+from repro.datasets import (
+    coauthorship_network,
+    follower_network,
+    load_into_grail,
+    load_into_grfusion,
+    load_into_property_graph,
+    load_into_sqlgraph,
+    protein_network,
+    road_network,
+    standard_datasets,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "builder",
+        [road_network, protein_network, coauthorship_network, follower_network],
+    )
+    def test_same_seed_same_graph(self, builder):
+        first = builder(seed=42)
+        second = builder(seed=42)
+        assert first.vertices == second.vertices
+        assert first.edges == second.edges
+
+    def test_different_seed_different_graph(self):
+        assert protein_network(seed=1).edges != protein_network(seed=2).edges
+
+
+class TestRowShapes:
+    @pytest.mark.parametrize(
+        "builder",
+        [road_network, protein_network, coauthorship_network, follower_network],
+    )
+    def test_uniform_row_shapes(self, builder):
+        dataset = builder()
+        for vid, vlabel, vsel in dataset.vertices:
+            assert isinstance(vlabel, str)
+            assert 0 <= vsel < 100
+        vertex_ids = {v[0] for v in dataset.vertices}
+        edge_ids = set()
+        for eid, src, dst, w, elabel, esel in dataset.edges:
+            assert eid not in edge_ids
+            edge_ids.add(eid)
+            assert src in vertex_ids
+            assert dst in vertex_ids
+            assert w >= 0
+            assert isinstance(elabel, str)
+            assert 0 <= esel < 100
+
+
+class TestStructuralClasses:
+    def test_road_grid_degree_bounded(self):
+        dataset = road_network(width=10, height=10)
+        adjacency = adjacency_of(dataset)
+        assert max(len(n) for n in adjacency.values()) <= 4
+
+    def test_road_grid_large_diameter(self):
+        dataset = road_network(width=16, height=16, seed=3)
+        adjacency = adjacency_of(dataset)
+        distances = bfs_distances(adjacency, 0)
+        assert max(distances.values()) >= 16  # long chains exist
+
+    def test_protein_power_law_hub(self):
+        dataset = protein_network(n=600, attach=5, seed=2)
+        adjacency = adjacency_of(dataset)
+        degrees = sorted((len(n) for n in adjacency.values()), reverse=True)
+        average = sum(degrees) / len(degrees)
+        assert degrees[0] > 5 * average  # heavy hub
+
+    def test_follower_graph_directed_heavy_tail(self):
+        dataset = follower_network(n=800, out_degree=8, seed=2)
+        assert dataset.directed
+        in_degree = {}
+        for _eid, _src, dst, _w, _l, _s in dataset.edges:
+            in_degree[dst] = in_degree.get(dst, 0) + 1
+        top = max(in_degree.values())
+        average = sum(in_degree.values()) / len(in_degree)
+        assert top > 10 * average
+
+    def test_coauthorship_has_communities(self):
+        dataset = coauthorship_network(n=400, communities=10, seed=2)
+        assert dataset.edge_count > dataset.vertex_count  # collaborative
+
+    def test_standard_datasets_scale(self):
+        small = standard_datasets(scale=0.1)
+        full = standard_datasets(scale=1.0)
+        assert len(small) == 4
+        for s, f in zip(small, full):
+            assert s.name == f.name
+            assert s.vertex_count <= f.vertex_count
+
+
+class TestLoaders:
+    def test_load_into_grfusion(self):
+        dataset = follower_network(n=60, out_degree=3, seed=9)
+        db, view_name = load_into_grfusion(dataset)
+        view = db.graph_view(view_name)
+        assert view.topology.vertex_count == dataset.vertex_count
+        assert view.topology.edge_count == dataset.edge_count
+        assert view.directed
+        result = db.execute(
+            f"SELECT COUNT(*) FROM {view_name}.Edges E WHERE E.esel < 50"
+        )
+        expected = sum(1 for e in dataset.edges if e[5] < 50)
+        assert result.scalar() == expected
+
+    def test_load_into_sqlgraph(self):
+        dataset = road_network(width=6, height=6, seed=9)
+        store = load_into_sqlgraph(dataset)
+        assert store.vertex_count == dataset.vertex_count
+        # undirected: both directions materialized
+        assert store.edge_count == 2 * dataset.edge_count
+
+    def test_load_into_grail(self):
+        dataset = road_network(width=6, height=6, seed=9)
+        engine = load_into_grail(dataset)
+        assert engine.db.table("gr_edges").row_count == 2 * dataset.edge_count
+
+    def test_load_into_property_graph(self):
+        dataset = protein_network(n=80, attach=3, seed=9)
+        graph = load_into_property_graph(dataset)
+        assert graph.vertex_count == dataset.vertex_count
+        assert graph.edge_count == dataset.edge_count
+
+    def test_loaders_agree_on_reachability(self):
+        from repro.baselines import neo4j_sim
+
+        dataset = road_network(width=6, height=6, seed=9)
+        db, view_name = load_into_grfusion(dataset)
+        sim = neo4j_sim(load_into_property_graph(dataset))
+        adjacency = adjacency_of(dataset)
+        distances = bfs_distances(adjacency, 0)
+        target = max(distances, key=distances.get)
+        assert sim.reachability(0, target)[0]
+        result = db.execute(
+            f"SELECT PS.PathString FROM {view_name}.Paths PS "
+            f"WHERE PS.StartVertex.Id = 0 AND PS.EndVertex.Id = {target} "
+            "LIMIT 1"
+        )
+        assert len(result) == 1

@@ -1,0 +1,113 @@
+"""Tests for derived tables: ``FROM (SELECT ...) alias``."""
+
+import pytest
+
+from repro import Database, SqlSyntaxError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE sales (region VARCHAR, amount INTEGER)")
+    rows = [
+        ("north", 10),
+        ("north", 20),
+        ("south", 5),
+        ("south", 15),
+        ("west", 40),
+    ]
+    for region, amount in rows:
+        database.execute(f"INSERT INTO sales VALUES ('{region}', {amount})")
+    return database
+
+
+class TestBasics:
+    def test_aggregate_subquery(self, db):
+        result = db.execute(
+            "SELECT d.region, d.total FROM "
+            "(SELECT region, SUM(amount) AS total FROM sales "
+            "GROUP BY region) d WHERE d.total > 15 ORDER BY d.total"
+        )
+        assert result.rows == [("south", 20), ("north", 30), ("west", 40)]
+
+    def test_join_with_base_table(self, db):
+        result = db.execute(
+            "SELECT s.region, s.amount, d.total FROM sales s, "
+            "(SELECT region, SUM(amount) AS total FROM sales "
+            "GROUP BY region) d "
+            "WHERE d.region = s.region AND s.amount * 2 > d.total"
+        )
+        # rows where the sale is more than half its region's total
+        assert sorted(result.rows) == [
+            ("north", 20, 30),
+            ("south", 15, 20),
+            ("west", 40, 40),
+        ]
+
+    def test_nested_derived_tables(self, db):
+        result = db.execute(
+            "SELECT x.m FROM (SELECT MAX(t.total) AS m FROM "
+            "(SELECT region, SUM(amount) AS total FROM sales "
+            "GROUP BY region) t) x"
+        )
+        assert result.scalar() == 40
+
+    def test_as_keyword_optional(self, db):
+        for sql in (
+            "SELECT d.amount FROM (SELECT amount FROM sales) AS d",
+            "SELECT d.amount FROM (SELECT amount FROM sales) d",
+        ):
+            assert len(db.execute(sql)) == 5
+
+    def test_alias_required(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT 1 FROM (SELECT amount FROM sales)")
+
+    def test_duplicate_column_names_disambiguated(self, db):
+        result = db.execute(
+            "SELECT * FROM (SELECT amount, amount FROM sales) d LIMIT 1"
+        )
+        assert len(result.columns) == 2
+        assert len(set(result.columns)) == 2
+
+    def test_aggregation_over_derived(self, db):
+        result = db.execute(
+            "SELECT COUNT(*), AVG(d.total) FROM "
+            "(SELECT region, SUM(amount) AS total FROM sales "
+            "GROUP BY region) d"
+        )
+        assert result.first() == (3, 30.0)
+
+    def test_explain_shows_derived(self, db):
+        plan = db.explain(
+            "SELECT d.amount FROM (SELECT amount FROM sales) d"
+        )
+        assert "DerivedTable(d)" in plan
+
+
+class TestWithGraphs:
+    def test_derived_table_feeds_path_probe(self, db):
+        db.execute("CREATE TABLE V (id INTEGER PRIMARY KEY)")
+        db.execute(
+            "CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER)"
+        )
+        db.execute("INSERT INTO V VALUES (1), (2), (3)")
+        db.execute("INSERT INTO E VALUES (10, 1, 2), (11, 2, 3)")
+        db.execute(
+            "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id) FROM V "
+            "EDGES(ID = id, FROM = s, TO = d) FROM E"
+        )
+        result = db.execute(
+            "SELECT PS.PathString FROM "
+            "(SELECT MIN(id) AS start FROM V) src, g.Paths PS "
+            "WHERE PS.StartVertex.Id = src.start AND PS.Length = 2"
+        )
+        assert result.rows == [("1->2->3",)]
+
+    def test_prepared_with_derived(self, db):
+        query = db.prepare(
+            "SELECT d.total FROM (SELECT region, SUM(amount) AS total "
+            "FROM sales GROUP BY region) d WHERE d.region = ?"
+        )
+        assert query.execute("north").scalar() == 30
+        assert query.execute("west").scalar() == 40

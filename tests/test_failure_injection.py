@@ -1,0 +1,166 @@
+"""Failure-injection tests: the engine must stay consistent when
+components fail mid-operation (listener errors, constraint violations
+inside multi-row statements, traversal errors mid-pipeline)."""
+
+import pytest
+
+from repro import (
+    ConstraintViolation,
+    Database,
+    ExecutionError,
+    IntegrityError,
+)
+from repro.storage.table import TableListener
+
+
+class _Bomb(TableListener):
+    """A listener that fails on demand."""
+
+    def __init__(self):
+        self.armed = False
+        self.calls = 0
+
+    def on_insert(self, table, pointer, row):
+        self.calls += 1
+        if self.armed:
+            raise RuntimeError("boom")
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE V (id INTEGER PRIMARY KEY, n VARCHAR)")
+    database.execute(
+        "CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER)"
+    )
+    database.execute("INSERT INTO V VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+    database.execute("INSERT INTO E VALUES (10, 1, 2), (11, 2, 3)")
+    database.execute(
+        "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id, n = n) FROM V "
+        "EDGES(ID = id, FROM = s, TO = d) FROM E"
+    )
+    return database
+
+
+class TestListenerFailures:
+    def test_failing_listener_aborts_statement_cleanly(self, db):
+        bomb = _Bomb()
+        table = db.table("V")
+        table.add_listener(bomb)
+        bomb.armed = True
+        with pytest.raises(RuntimeError):
+            db.execute("INSERT INTO V VALUES (4, 'd')")
+        # implicit rollback removed the row and its topology entry
+        assert db.execute("SELECT COUNT(*) FROM V").scalar() == 3
+        assert not db.graph_view("g").topology.has_vertex(4)
+        # the engine is still usable afterwards
+        bomb.armed = False
+        db.execute("INSERT INTO V VALUES (4, 'd')")
+        assert db.graph_view("g").topology.has_vertex(4)
+
+    def test_listener_failure_order_independence(self, db):
+        """A bomb added AFTER graph maintenance still rolls everything
+        back, including the already-applied topology change."""
+        bomb = _Bomb()
+        db.table("E").add_listener(bomb)
+        bomb.armed = True
+        with pytest.raises(RuntimeError):
+            db.execute("INSERT INTO E VALUES (12, 3, 1)")
+        assert not db.graph_view("g").topology.has_edge(12)
+        assert db.execute("SELECT COUNT(*) FROM E").scalar() == 2
+
+
+class TestMultiRowStatementAtomicity:
+    def test_middle_row_failure_undoes_earlier_rows(self, db):
+        with pytest.raises(ConstraintViolation):
+            db.execute(
+                "INSERT INTO V VALUES (7, 'x'), (1, 'dup'), (8, 'y')"
+            )
+        remaining = db.execute("SELECT COUNT(*) FROM V").scalar()
+        assert remaining == 3
+        assert not db.graph_view("g").topology.has_vertex(7)
+
+    def test_update_failure_mid_batch(self, db):
+        # renaming every vertex id to 5 collides on the second row
+        with pytest.raises(ConstraintViolation):
+            db.execute("UPDATE V SET id = 5")
+        assert sorted(
+            row[0] for row in db.execute("SELECT id FROM V").rows
+        ) == [1, 2, 3]
+        topology = db.graph_view("g").topology
+        assert sorted(topology.vertices) == [1, 2, 3]
+        assert topology.edge(10).from_id == 1
+
+    def test_delete_blocked_by_integrity_keeps_all(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("DELETE FROM V")  # vertices still referenced
+        assert db.execute("SELECT COUNT(*) FROM V").scalar() == 3
+
+
+class TestQueryTimeFailures:
+    def test_error_in_projection_does_not_corrupt_state(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT 1 / 0 FROM V")
+        assert db.execute("SELECT COUNT(*) FROM V").scalar() == 3
+
+    def test_error_mid_iteration_leaves_tables_usable(self, db):
+        db.execute("INSERT INTO V VALUES (0, NULL)")
+        # comparison against NULL name is fine; division by id 0 explodes
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT 10 / id FROM V")
+        assert db.execute("SELECT COUNT(*) FROM V").scalar() == 4
+
+    def test_traversal_error_surfaces_not_hangs(self, db):
+        db.execute("CREATE TABLE W (id INTEGER PRIMARY KEY, s INTEGER, "
+                   "d INTEGER, w FLOAT)")
+        db.execute("INSERT INTO W VALUES (1, 1, 2, -5.0)")
+        db.execute("CREATE TABLE VV (id INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO VV VALUES (1), (2)")
+        db.execute(
+            "CREATE DIRECTED GRAPH VIEW neg VERTEXES(ID = id) FROM VV "
+            "EDGES(ID = id, FROM = s, TO = d, w = w) FROM W"
+        )
+        with pytest.raises(ExecutionError, match="non-negative"):
+            db.execute(
+                "SELECT PS.Cost FROM neg.Paths PS HINT(SHORTESTPATH(w)) "
+                "WHERE PS.StartVertex.Id = 1 LIMIT 1"
+            )
+
+
+class TestExplicitTransactionFailureRecovery:
+    def test_failure_inside_explicit_txn_keeps_txn_open(self, db):
+        db.begin()
+        db.execute("INSERT INTO V VALUES (9, 'ok')")
+        with pytest.raises(ConstraintViolation):
+            db.execute("INSERT INTO V VALUES (9, 'dup')")
+        # the application decides: roll the whole transaction back
+        db.rollback()
+        assert db.execute("SELECT COUNT(*) FROM V").scalar() == 3
+        assert not db.graph_view("g").topology.has_vertex(9)
+
+    def test_commit_after_recovered_failure(self, db):
+        db.begin()
+        db.execute("INSERT INTO V VALUES (9, 'ok')")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO E VALUES (50, 9, 12345)")
+        db.execute("INSERT INTO E VALUES (51, 9, 1)")
+        db.commit()
+        topology = db.graph_view("g").topology
+        assert topology.has_edge(51)
+        assert not topology.has_edge(50)
+
+
+class TestStalePointerDefense:
+    def test_raw_table_mutation_behind_views_is_detected(self, db):
+        """Deleting a vertex row *behind the engine's back* (raw slot
+        delete after detaching listeners) leaves a dangling graph
+        pointer — dereferencing must raise, not return garbage."""
+        view = db.graph_view("g")
+        view.detach_maintenance_listeners()
+        table = db.table("V")
+        slot = table.lookup_primary_key((1,))
+        table.delete(slot)
+        table.insert((99, "intruder"))  # may reuse the slot
+        vertex = view.topology.vertex(1)
+        with pytest.raises(ExecutionError):
+            view.vertex_attribute(vertex, "n")

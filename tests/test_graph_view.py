@@ -1,0 +1,209 @@
+"""Unit tests for graph views: construction from relational sources,
+tuple-pointer attribute access, and online maintenance (Section 3.3)."""
+
+import pytest
+
+from repro.errors import GraphViewError, IntegrityError
+from repro.graph import build_graph_view
+
+from .graph_fixtures import make_graph_view
+
+
+class TestConstruction:
+    def test_topology_matches_sources(self):
+        view, vertex_table, edge_table = make_graph_view(
+            [1, 2, 3], [(10, 1, 2), (11, 2, 3)]
+        )
+        assert view.topology.vertex_count == 3
+        assert view.topology.edge_count == 2
+
+    def test_missing_id_mapping_rejected(self):
+        _view, vertex_table, edge_table = make_graph_view([1], [])
+        with pytest.raises(GraphViewError, match="ID"):
+            build_graph_view(
+                "bad",
+                True,
+                vertex_table,
+                [("name", "name")],
+                edge_table,
+                [("ID", "id"), ("FROM", "src"), ("TO", "dst")],
+            )
+
+    def test_missing_from_to_rejected(self):
+        _view, vertex_table, edge_table = make_graph_view([1], [])
+        with pytest.raises(GraphViewError, match="FROM"):
+            build_graph_view(
+                "bad2",
+                True,
+                vertex_table,
+                [("ID", "id")],
+                edge_table,
+                [("ID", "id")],
+            )
+
+    def test_edge_referencing_missing_vertex_rejected(self):
+        with pytest.raises(IntegrityError):
+            make_graph_view([1, 2], [(10, 1, 99)])
+
+    def test_unknown_source_column_rejected(self):
+        _view, vertex_table, edge_table = make_graph_view([1], [])
+        with pytest.raises(Exception):
+            build_graph_view(
+                "bad3",
+                True,
+                vertex_table,
+                [("ID", "no_such_column")],
+                edge_table,
+                [("ID", "id"), ("FROM", "src"), ("TO", "dst")],
+            )
+
+
+class TestAttributeAccess:
+    def test_vertex_attributes_via_tuple_pointer(self):
+        view, _vt, _et = make_graph_view([(1, "Alice"), (2, "Bob")], [(10, 1, 2)])
+        vertex = view.find_vertex(1)
+        assert view.vertex_attribute(vertex, "name") == "Alice"
+        assert view.vertex_attribute(vertex, "Id") == 1
+        assert view.vertex_attribute(vertex, "FanOut") == 1
+        assert view.vertex_attribute(vertex, "FanIn") == 0
+
+    def test_edge_attributes(self):
+        view, _vt, _et = make_graph_view(
+            [1, 2], [(10, 1, 2, 3.5, "friend")]
+        )
+        edge = view.topology.edge(10)
+        assert view.edge_attribute(edge, "w") == 3.5
+        assert view.edge_attribute(edge, "label") == "friend"
+        assert view.edge_attribute(edge, "Id") == 10
+        assert view.edge_attribute(edge, "From") == 1
+        assert view.edge_attribute(edge, "To") == 2
+        assert view.edge_attribute(edge, "StartVertex") == 1
+        assert view.edge_attribute(edge, "EndVertex") == 2
+
+    def test_attribute_names_case_insensitive(self):
+        view, _vt, _et = make_graph_view([(1, "A")], [])
+        vertex = view.find_vertex(1)
+        assert view.vertex_attribute(vertex, "NAME") == "A"
+
+    def test_unknown_attribute_raises(self):
+        view, _vt, _et = make_graph_view([(1, "A")], [])
+        vertex = view.find_vertex(1)
+        with pytest.raises(GraphViewError):
+            view.vertex_attribute(vertex, "salary")
+
+    def test_has_attribute(self):
+        view, _vt, _et = make_graph_view([(1, "A")], [])
+        assert view.has_vertex_attribute("name")
+        assert view.has_vertex_attribute("fanout")
+        assert not view.has_vertex_attribute("salary")
+        assert view.has_edge_attribute("label")
+        assert view.has_edge_attribute("endvertex")
+
+
+class TestAttributeUpdatesWithoutReplication:
+    def test_relational_update_visible_through_pointer(self):
+        """Attribute updates need no graph rebuild (Section 3.2)."""
+        view, vertex_table, _et = make_graph_view([(1, "Old")], [])
+        slot = vertex_table.lookup_primary_key((1,))
+        vertex_table.update(slot, (1, "New"))
+        vertex = view.find_vertex(1)
+        assert view.vertex_attribute(vertex, "name") == "New"
+
+
+class TestTopologyMaintenance:
+    def test_vertex_insert(self):
+        view, vertex_table, _et = make_graph_view([1], [])
+        vertex_table.insert((2, "B"))
+        assert view.topology.has_vertex(2)
+
+    def test_edge_insert(self):
+        view, _vt, edge_table = make_graph_view([1, 2], [])
+        edge_table.insert((10, 1, 2, 1.0, "x"))
+        assert view.topology.has_edge(10)
+        assert view.find_vertex(1).fan_out == 1
+
+    def test_edge_insert_missing_endpoint_rejected(self):
+        view, _vt, edge_table = make_graph_view([1, 2], [])
+        with pytest.raises(IntegrityError):
+            edge_table.insert((10, 1, 99, 1.0, "x"))
+
+    def test_edge_delete(self):
+        view, _vt, edge_table = make_graph_view([1, 2], [(10, 1, 2)])
+        slot = edge_table.lookup_primary_key((10,))
+        edge_table.delete(slot)
+        assert not view.topology.has_edge(10)
+        assert view.find_vertex(1).fan_out == 0
+
+    def test_vertex_delete_with_edges_rejected(self):
+        view, vertex_table, _et = make_graph_view([1, 2], [(10, 1, 2)])
+        slot = vertex_table.lookup_primary_key((1,))
+        with pytest.raises(IntegrityError):
+            vertex_table.delete(slot)
+
+    def test_vertex_delete_after_edges_removed(self):
+        view, vertex_table, edge_table = make_graph_view([1, 2], [(10, 1, 2)])
+        edge_table.delete(edge_table.lookup_primary_key((10,)))
+        vertex_table.delete(vertex_table.lookup_primary_key((1,)))
+        assert not view.topology.has_vertex(1)
+
+    def test_statistics_invalidated_on_update(self):
+        view, _vt, edge_table = make_graph_view([1, 2, 3], [(10, 1, 2)])
+        before = view.average_fan_out()
+        edge_table.insert((11, 1, 3, 1.0, "x"))
+        after = view.average_fan_out()
+        assert after > before
+
+
+class TestIdentifierUpdates:
+    """Section 3.3.1: identifier updates keep graph + sources consistent."""
+
+    def test_vertex_id_update_renames_topology(self):
+        view, vertex_table, _et = make_graph_view([(1, "A"), (2, "B")], [(10, 1, 2)])
+        slot = vertex_table.lookup_primary_key((1,))
+        vertex_table.update(slot, (100, "A"))
+        assert view.topology.has_vertex(100)
+        assert not view.topology.has_vertex(1)
+
+    def test_vertex_id_update_fixes_edge_source_rows(self):
+        view, vertex_table, edge_table = make_graph_view(
+            [(1, "A"), (2, "B")], [(10, 1, 2), (11, 2, 1)]
+        )
+        slot = vertex_table.lookup_primary_key((1,))
+        vertex_table.update(slot, (100, "A"))
+        rows = {row[0]: (row[1], row[2]) for row in edge_table.rows()}
+        assert rows[10] == (100, 2)
+        assert rows[11] == (2, 100)
+        # topology agrees
+        assert view.topology.edge(10).from_id == 100
+        assert view.topology.edge(11).to_id == 100
+
+    def test_edge_id_update(self):
+        view, _vt, edge_table = make_graph_view([1, 2], [(10, 1, 2)])
+        slot = edge_table.lookup_primary_key((10,))
+        edge_table.update(slot, (99, 1, 2, 1.0, "x"))
+        assert view.topology.has_edge(99)
+        assert not view.topology.has_edge(10)
+
+    def test_edge_endpoint_update_relinks(self):
+        view, _vt, edge_table = make_graph_view([1, 2, 3], [(10, 1, 2)])
+        slot = edge_table.lookup_primary_key((10,))
+        edge_table.update(slot, (10, 1, 3, 1.0, "x"))
+        assert view.topology.edge(10).to_id == 3
+        assert view.find_vertex(2).fan_in == 0
+        assert view.find_vertex(3).fan_in == 1
+
+    def test_attribute_only_update_keeps_topology_object(self):
+        view, _vt, edge_table = make_graph_view([1, 2], [(10, 1, 2, 1.0, "x")])
+        edge_before = view.topology.edge(10)
+        slot = edge_table.lookup_primary_key((10,))
+        edge_table.update(slot, (10, 1, 2, 9.0, "y"))
+        assert view.topology.edge(10) is edge_before
+        assert view.edge_attribute(edge_before, "w") == 9.0
+
+
+class TestDetach:
+    def test_detached_view_no_longer_maintained(self):
+        view, vertex_table, _et = make_graph_view([1], [])
+        view.detach_maintenance_listeners()
+        vertex_table.insert((2, "B"))
+        assert not view.topology.has_vertex(2)

@@ -1,0 +1,127 @@
+"""Tests for index access-path selection: multi-column lookups and
+ordered-index range scans."""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE m (id INTEGER PRIMARY KEY, a INTEGER, b VARCHAR, "
+        "score FLOAT)"
+    )
+    database.load_rows(
+        "m",
+        [(i, i % 10, f"b{i % 3}", float(i)) for i in range(100)],
+    )
+    return database
+
+
+class TestMultiColumnLookup:
+    def test_composite_index_chosen(self, db):
+        db.execute("CREATE INDEX m_ab ON m (a, b)")
+        plan = db.explain(
+            "SELECT id FROM m t WHERE t.a = 3 AND t.b = 'b0'"
+        )
+        assert "IndexLookup(m.m_ab)" in plan
+
+    def test_composite_results_correct(self, db):
+        db.execute("CREATE INDEX m_ab ON m (a, b)")
+        rows = db.execute(
+            "SELECT id FROM m t WHERE t.a = 3 AND t.b = 'b0' ORDER BY id"
+        ).column(0)
+        expected = [i for i in range(100) if i % 10 == 3 and i % 3 == 0]
+        assert rows == expected
+
+    def test_longest_index_preferred(self, db):
+        db.execute("CREATE INDEX m_a ON m (a)")
+        db.execute("CREATE INDEX m_ab ON m (a, b)")
+        plan = db.explain(
+            "SELECT id FROM m t WHERE t.a = 3 AND t.b = 'b0'"
+        )
+        assert "m_ab" in plan
+
+    def test_partial_key_falls_back_to_shorter(self, db):
+        db.execute("CREATE INDEX m_a ON m (a)")
+        db.execute("CREATE INDEX m_ab ON m (a, b)")
+        plan = db.explain("SELECT id FROM m t WHERE t.a = 3")
+        assert "m_a" in plan and "m_ab" not in plan
+
+    def test_prepared_composite_rebinds(self, db):
+        db.execute("CREATE INDEX m_ab ON m (a, b)")
+        query = db.prepare("SELECT COUNT(*) FROM m t WHERE t.a = ? AND t.b = ?")
+        assert "IndexLookup(m.m_ab)" in query.explain()
+        first = query.execute(3, "b0").scalar()
+        second = query.execute(4, "b1").scalar()
+        assert first == len(
+            [i for i in range(100) if i % 10 == 3 and i % 3 == 0]
+        )
+        assert second == len(
+            [i for i in range(100) if i % 10 == 4 and i % 3 == 1]
+        )
+
+
+class TestRangeScan:
+    def test_range_scan_chosen_on_ordered_index(self, db):
+        db.create_ordered_index("m_score", "m", ["score"])
+        plan = db.explain(
+            "SELECT id FROM m t WHERE t.score >= 10 AND t.score < 20"
+        )
+        assert "IndexRangeScan(m.m_score" in plan
+
+    def test_range_scan_results(self, db):
+        db.create_ordered_index("m_score", "m", ["score"])
+        rows = db.execute(
+            "SELECT id FROM m t WHERE t.score >= 10 AND t.score < 20 "
+            "ORDER BY id"
+        ).column(0)
+        assert rows == list(range(10, 20))
+
+    def test_half_open_ranges(self, db):
+        db.create_ordered_index("m_score", "m", ["score"])
+        assert len(
+            db.execute("SELECT id FROM m t WHERE t.score > 95").rows
+        ) == 4
+        assert len(
+            db.execute("SELECT id FROM m t WHERE t.score <= 5").rows
+        ) == 6
+
+    def test_hash_index_not_used_for_range(self, db):
+        db.execute("CREATE INDEX m_a ON m (a)")  # hash
+        plan = db.explain("SELECT id FROM m t WHERE t.a > 5")
+        assert "IndexRangeScan" not in plan
+        assert "SeqScan" in plan
+
+    def test_extra_predicate_stays_as_filter(self, db):
+        db.create_ordered_index("m_score", "m", ["score"])
+        result = db.execute(
+            "SELECT id FROM m t WHERE t.score >= 10 AND t.score < 30 "
+            "AND t.b = 'b0' ORDER BY id"
+        )
+        expected = [i for i in range(10, 30) if i % 3 == 0]
+        assert result.column(0) == expected
+
+    def test_prepared_range_rebinds(self, db):
+        db.create_ordered_index("m_score", "m", ["score"])
+        query = db.prepare(
+            "SELECT COUNT(*) FROM m t WHERE t.score >= ? AND t.score < ?"
+        )
+        assert "IndexRangeScan" in query.explain()
+        assert query.execute(0, 50).scalar() == 50
+        assert query.execute(90, 100).scalar() == 10
+
+    def test_null_bound_yields_no_rows(self, db):
+        db.create_ordered_index("m_score", "m", ["score"])
+        query = db.prepare("SELECT COUNT(*) FROM m t WHERE t.score > ?")
+        assert query.execute(None).scalar() == 0
+
+    def test_equality_preferred_over_range(self, db):
+        db.create_ordered_index("m_score", "m", ["score"])
+        plan = db.explain(
+            "SELECT id FROM m t WHERE t.score = 5 AND t.score < 50"
+        )
+        # the equality can use the ordered index as a point lookup
+        assert "IndexLookup(m.m_score)" in plan

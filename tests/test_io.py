@@ -1,0 +1,144 @@
+"""Tests for CSV import/export."""
+
+import pytest
+
+from repro import Database, ExecutionError
+from repro.io import dump_csv, import_graph_csv, load_csv
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR, "
+        "score FLOAT, active BOOLEAN)"
+    )
+    return database
+
+
+class TestLoadCsv:
+    def test_with_header(self, db, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("id,name,score,active\n1,ann,2.5,true\n2,bob,1.0,false\n")
+        assert load_csv(db, "t", str(path)) == 2
+        rows = db.execute("SELECT * FROM t ORDER BY id").rows
+        assert rows == [(1, "ann", 2.5, True), (2, "bob", 1.0, False)]
+
+    def test_header_reordered_and_partial(self, db, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("name,id\nzed,9\n")
+        load_csv(db, "t", str(path))
+        assert db.execute("SELECT id, name, score FROM t").first() == (
+            9,
+            "zed",
+            None,
+        )
+
+    def test_positional_without_header(self, db, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("3,cid,4.5,1\n")
+        load_csv(db, "t", str(path), header=False)
+        assert db.execute("SELECT name FROM t").scalar() == "cid"
+
+    def test_empty_cells_become_null(self, db, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("id,name,score,active\n5,,,\n")
+        load_csv(db, "t", str(path))
+        assert db.execute("SELECT name, score FROM t").first() == (None, None)
+
+    def test_arity_mismatch_rejected(self, db, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1,short\n")
+        with pytest.raises(ExecutionError):
+            load_csv(db, "t", str(path), header=False)
+
+    def test_bad_boolean_rejected(self, db, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("id,active\n1,maybe\n")
+        with pytest.raises(ExecutionError):
+            load_csv(db, "t", str(path))
+
+    def test_custom_delimiter(self, db, tmp_path):
+        path = tmp_path / "data.tsv"
+        path.write_text("id\tname\n4\tdee\n")
+        load_csv(db, "t", str(path), delimiter="\t")
+        assert db.execute("SELECT name FROM t").scalar() == "dee"
+
+
+class TestDumpCsv:
+    def test_dump_table_roundtrip(self, db, tmp_path):
+        db.execute("INSERT INTO t VALUES (1, 'ann', 2.5, TRUE)")
+        db.execute("INSERT INTO t (id) VALUES (2)")
+        path = tmp_path / "out.csv"
+        assert dump_csv(db, "t", str(path)) == 2
+        other = Database()
+        other.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR, "
+            "score FLOAT, active BOOLEAN)"
+        )
+        load_csv(other, "t", str(path))
+        assert sorted(other.execute("SELECT * FROM t").rows) == sorted(
+            db.execute("SELECT * FROM t").rows
+        )
+
+    def test_dump_query(self, db, tmp_path):
+        db.execute("INSERT INTO t VALUES (1, 'ann', 2.5, TRUE)")
+        db.execute("INSERT INTO t VALUES (2, 'bob', 9.0, TRUE)")
+        path = tmp_path / "out.csv"
+        dump_csv(db, "SELECT name FROM t WHERE score > 5", str(path))
+        content = path.read_text().splitlines()
+        assert content == ["name", "bob"]
+
+
+class TestImportGraphCsv:
+    def test_end_to_end(self, tmp_path):
+        vertex_csv = tmp_path / "v.csv"
+        vertex_csv.write_text("id,name\n1,a\n2,b\n3,c\n")
+        edge_csv = tmp_path / "e.csv"
+        edge_csv.write_text("id,src,dst,w\n10,1,2,1.5\n11,2,3,2.5\n")
+        db = Database()
+        import_graph_csv(
+            db,
+            "G",
+            str(vertex_csv),
+            "id INTEGER PRIMARY KEY, name VARCHAR",
+            str(edge_csv),
+            "id INTEGER PRIMARY KEY, src INTEGER, dst INTEGER, w FLOAT",
+            vertex_id_column="id",
+            edge_id_column="id",
+            edge_from_column="src",
+            edge_to_column="dst",
+        )
+        view = db.graph_view("G")
+        assert view.topology.vertex_count == 3
+        assert view.topology.edge_count == 2
+        result = db.execute(
+            "SELECT PS.PathString, SUM(PS.Edges.w) FROM G.Paths PS "
+            "WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 3 LIMIT 1"
+        )
+        assert result.first() == ("1->2->3", 4.0)
+
+    def test_undirected_import(self, tmp_path):
+        vertex_csv = tmp_path / "v.csv"
+        vertex_csv.write_text("id\n1\n2\n")
+        edge_csv = tmp_path / "e.csv"
+        edge_csv.write_text("id,src,dst\n10,1,2\n")
+        db = Database()
+        import_graph_csv(
+            db,
+            "U",
+            str(vertex_csv),
+            "id INTEGER PRIMARY KEY",
+            str(edge_csv),
+            "id INTEGER PRIMARY KEY, src INTEGER, dst INTEGER",
+            vertex_id_column="id",
+            edge_id_column="id",
+            edge_from_column="src",
+            edge_to_column="dst",
+            directed=False,
+        )
+        result = db.execute(
+            "SELECT PS.PathString FROM U.Paths PS "
+            "WHERE PS.StartVertex.Id = 2 AND PS.EndVertex.Id = 1 LIMIT 1"
+        )
+        assert result.rows == [("2->1",)]

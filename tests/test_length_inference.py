@@ -1,0 +1,123 @@
+"""Unit tests for path-length inference (Section 6.1)."""
+
+from repro.planner.length_inference import (
+    LengthBounds,
+    infer_length_bounds,
+)
+from repro.planner.conjuncts import split_conjuncts
+from repro.sql import parse_statement
+
+
+def bounds_for(where_sql, alias="PS"):
+    statement = parse_statement(f"SELECT 1 FROM g.Paths PS WHERE {where_sql}")
+    conjuncts = split_conjuncts(statement.where)
+    return infer_length_bounds(conjuncts, alias)
+
+
+class TestExplicitLengthPredicates:
+    def test_equality(self):
+        bounds, consumed = bounds_for("PS.Length = 2")
+        assert bounds.minimum == 2
+        assert bounds.maximum == 2
+        assert len(consumed) == 1
+
+    def test_upper_bound(self):
+        bounds, _ = bounds_for("PS.Length <= 5")
+        assert bounds.maximum == 5
+
+    def test_strict_upper_bound(self):
+        bounds, _ = bounds_for("PS.Length < 5")
+        assert bounds.maximum == 4
+
+    def test_lower_bound(self):
+        bounds, _ = bounds_for("PS.Length >= 3")
+        assert bounds.minimum == 3
+
+    def test_strict_lower_bound(self):
+        bounds, _ = bounds_for("PS.Length > 3")
+        assert bounds.minimum == 4
+
+    def test_flipped_operands(self):
+        bounds, consumed = bounds_for("5 >= PS.Length")
+        assert bounds.maximum == 5
+        assert len(consumed) == 1
+
+    def test_between(self):
+        bounds, consumed = bounds_for("PS.Length BETWEEN 2 AND 4")
+        assert bounds.minimum == 2
+        assert bounds.maximum == 4
+        assert len(consumed) == 1
+
+    def test_combined(self):
+        bounds, _ = bounds_for("PS.Length >= 2 AND PS.Length <= 6")
+        assert (bounds.minimum, bounds.maximum) == (2, 6)
+
+    def test_contradiction_detected(self):
+        bounds, _ = bounds_for("PS.Length > 5 AND PS.Length < 3")
+        assert bounds.is_empty
+
+    def test_inequality_not_consumed(self):
+        bounds, consumed = bounds_for("PS.Length <> 3")
+        assert consumed == []
+        assert bounds.maximum is None
+
+    def test_non_literal_not_consumed(self):
+        # can't fold a comparison against another column
+        statement = parse_statement(
+            "SELECT 1 FROM t, g.Paths PS WHERE PS.Length = t.a"
+        )
+        bounds, consumed = infer_length_bounds(
+            split_conjuncts(statement.where), "PS"
+        )
+        assert consumed == []
+
+
+class TestImplicitPositionalInference:
+    def test_open_edge_range_from_paper(self):
+        # "PS.Edges[5..*].Att = Value" -> minimum length 6 (Section 6.1)
+        bounds, consumed = bounds_for("PS.Edges[5..*].w = 1")
+        assert bounds.minimum == 6
+        assert consumed == []  # the filter itself still applies
+
+    def test_bounded_edge_range(self):
+        bounds, _ = bounds_for("PS.Edges[7..9].w = 1")
+        assert bounds.minimum == 10
+
+    def test_single_edge_index(self):
+        bounds, _ = bounds_for("PS.Edges[2].label = 'C'")
+        assert bounds.minimum == 3
+
+    def test_vertex_index(self):
+        bounds, _ = bounds_for("PS.Vertexes[3].name = 'x'")
+        assert bounds.minimum == 3
+
+    def test_combined_explicit_and_implicit(self):
+        bounds, _ = bounds_for(
+            "PS.Edges[5..*].w = 1 AND PS.Edges[7..9].w = 2 AND PS.Length < 20"
+        )
+        assert bounds.minimum == 10
+        assert bounds.maximum == 19
+
+    def test_other_alias_ignored(self):
+        bounds, _ = bounds_for("QS.Edges[5..*].w = 1", alias="PS")
+        assert bounds.minimum == 1
+
+
+class TestLengthBounds:
+    def test_require_min_monotone(self):
+        bounds = LengthBounds()
+        bounds.require_min(3)
+        bounds.require_min(2)
+        assert bounds.minimum == 3
+
+    def test_require_max_monotone(self):
+        bounds = LengthBounds()
+        bounds.require_max(5)
+        bounds.require_max(8)
+        assert bounds.maximum == 5
+
+    def test_default_is_open(self):
+        bounds = LengthBounds()
+        assert bounds.minimum == 1
+        assert bounds.maximum is None
+        assert not bounds.is_empty

@@ -1,0 +1,118 @@
+"""Unit tests for the Path data type (the paper's Section-5.2 schema)."""
+
+import pytest
+
+from repro.graph import GraphTopology, Path
+
+
+def make_elements():
+    topology = GraphTopology(directed=True)
+    for vid in (1, 2, 3):
+        topology.add_vertex(vid)
+    topology.add_edge("e1", 1, 2)
+    topology.add_edge("e2", 2, 3)
+    return topology
+
+
+class TestConstruction:
+    def test_arity_check(self):
+        topology = make_elements()
+        v1, v2 = topology.vertex(1), topology.vertex(2)
+        e1 = topology.edge("e1")
+        with pytest.raises(ValueError):
+            Path([v1], [e1])
+        with pytest.raises(ValueError):
+            Path([v1, v2], [])
+
+    def test_single_vertex_path(self):
+        topology = make_elements()
+        path = Path([topology.vertex(1)], [])
+        assert path.length == 0
+        assert path.start_vertex_id == path.end_vertex_id == 1
+
+
+class TestPaperSchema:
+    def make_path(self, cost=None):
+        topology = make_elements()
+        return Path(
+            [topology.vertex(1), topology.vertex(2), topology.vertex(3)],
+            [topology.edge("e1"), topology.edge("e2")],
+            cost=cost,
+        )
+
+    def test_length(self):
+        assert self.make_path().length == 2
+        assert len(self.make_path()) == 2
+
+    def test_endpoints(self):
+        path = self.make_path()
+        assert path.start_vertex.id == 1
+        assert path.end_vertex.id == 3
+        assert path.start_vertex_id == 1
+        assert path.end_vertex_id == 3
+
+    def test_path_string(self):
+        assert self.make_path().path_string == "1->2->3"
+
+    def test_vertex_and_edge_ids(self):
+        path = self.make_path()
+        assert path.vertex_ids() == [1, 2, 3]
+        assert path.edge_ids() == ["e1", "e2"]
+
+    def test_cost_defaults_to_none(self):
+        assert self.make_path().cost is None
+        assert self.make_path(cost=4.5).cost == 4.5
+
+    def test_visits(self):
+        path = self.make_path()
+        assert path.visits(2)
+        assert not path.visits(99)
+
+
+class TestExtension:
+    def test_extended_appends_hop(self):
+        topology = make_elements()
+        base = Path([topology.vertex(1), topology.vertex(2)], [topology.edge("e1")])
+        longer = base.extended(topology.edge("e2"), topology.vertex(3))
+        assert longer.length == 2
+        assert longer.path_string == "1->2->3"
+        # original untouched (immutability)
+        assert base.length == 1
+
+    def test_extended_accumulates_cost(self):
+        topology = make_elements()
+        base = Path(
+            [topology.vertex(1), topology.vertex(2)],
+            [topology.edge("e1")],
+            cost=1.5,
+        )
+        longer = base.extended(topology.edge("e2"), topology.vertex(3), 2.0)
+        assert longer.cost == pytest.approx(3.5)
+
+    def test_extended_without_cost_stays_costless(self):
+        topology = make_elements()
+        base = Path([topology.vertex(1), topology.vertex(2)], [topology.edge("e1")])
+        longer = base.extended(topology.edge("e2"), topology.vertex(3), 2.0)
+        assert longer.cost is None
+
+
+class TestEqualityAndHashing:
+    def test_equality_by_ids(self):
+        first = TestPaperSchema().make_path()
+        second = TestPaperSchema().make_path()
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality(self):
+        topology = make_elements()
+        short = Path(
+            [topology.vertex(1), topology.vertex(2)], [topology.edge("e1")]
+        )
+        assert short != TestPaperSchema().make_path()
+
+    def test_usable_in_sets(self):
+        paths = {TestPaperSchema().make_path(), TestPaperSchema().make_path()}
+        assert len(paths) == 1
+
+    def test_repr_contains_path_string(self):
+        assert "1->2->3" in repr(TestPaperSchema().make_path())

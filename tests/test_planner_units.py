@@ -1,0 +1,253 @@
+"""Unit tests for planner submodules: conjunct analysis, AST rewriting,
+and path-predicate classification."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.expr.scope import PathBinding, RelationBinding, Scope
+from repro.graph.traversal import PositionalFilter
+from repro.planner.conjuncts import (
+    conjoin,
+    equi_join_sides,
+    extract_column_equality,
+    is_constant,
+    referenced_aliases,
+    split_conjuncts,
+)
+from repro.planner.path_planning import (
+    classify_path_conjuncts,
+    compile_path_predicate,
+)
+from repro.planner.rewrite import (
+    find_relational_aggregates,
+    is_path_aggregate,
+    replace_nodes,
+)
+from repro.sql import ast, parse_statement
+from repro.storage.schema import Column, TableSchema
+from repro.types import SqlType
+
+from .graph_fixtures import make_graph_view
+
+
+def make_scope(with_path=False):
+    schema = TableSchema(
+        [Column("a", SqlType.INTEGER), Column("b", SqlType.INTEGER)]
+    )
+    bindings = [RelationBinding("t", 0, schema), RelationBinding("u", 1, schema)]
+    view = None
+    if with_path:
+        view, _vt, _et = make_graph_view([1, 2, 3], [(1, 1, 2), (2, 2, 3)])
+        bindings.append(PathBinding("PS", 2, view))
+    return Scope(bindings), view
+
+
+def where_of(sql):
+    return parse_statement(sql).where
+
+
+class TestSplitAndConjoin:
+    def test_split_nested_ands(self):
+        where = where_of("SELECT 1 FROM t WHERE a = 1 AND (b = 2 AND a < 5)")
+        assert len(split_conjuncts(where)) == 3
+
+    def test_or_not_split(self):
+        where = where_of("SELECT 1 FROM t WHERE a = 1 OR b = 2")
+        assert len(split_conjuncts(where)) == 1
+
+    def test_none_gives_empty(self):
+        assert split_conjuncts(None) == []
+
+    def test_conjoin_round_trip(self):
+        where = where_of("SELECT 1 FROM t WHERE a = 1 AND b = 2 AND a < 5")
+        parts = split_conjuncts(where)
+        rebuilt = conjoin(parts)
+        assert split_conjuncts(rebuilt) == parts
+
+    def test_conjoin_empty_is_none(self):
+        assert conjoin([]) is None
+
+
+class TestReferencedAliases:
+    def test_single_alias(self):
+        scope, _ = make_scope()
+        where = where_of("SELECT 1 FROM t, u WHERE t.a = 5")
+        assert referenced_aliases(where, scope) == {"t"}
+
+    def test_two_aliases(self):
+        scope, _ = make_scope()
+        where = where_of("SELECT 1 FROM t, u WHERE t.a = u.b")
+        assert referenced_aliases(where, scope) == {"t", "u"}
+
+    def test_constant(self):
+        scope, _ = make_scope()
+        where = where_of("SELECT 1 FROM t WHERE 1 = 1")
+        assert referenced_aliases(where, scope) == set()
+        assert is_constant(where, scope)
+
+    def test_unresolvable_raises(self):
+        scope, _ = make_scope()
+        where = where_of("SELECT 1 FROM t WHERE zzz.a = 1")
+        with pytest.raises(PlanningError):
+            referenced_aliases(where, scope)
+
+
+class TestEquiJoinDetection:
+    def test_detects_and_orients(self):
+        scope, _ = make_scope()
+        where = where_of("SELECT 1 FROM t, u WHERE u.b = t.a")
+        left, right = equi_join_sides(where, scope, {"t"}, {"u"})
+        # left side must belong to the {"t"} set
+        assert referenced_aliases(left, scope) == {"t"}
+        assert referenced_aliases(right, scope) == {"u"}
+
+    def test_rejects_constant_side(self):
+        scope, _ = make_scope()
+        where = where_of("SELECT 1 FROM t, u WHERE t.a = 5")
+        assert equi_join_sides(where, scope, {"t"}, {"u"}) is None
+
+    def test_rejects_non_equality(self):
+        scope, _ = make_scope()
+        where = where_of("SELECT 1 FROM t, u WHERE t.a < u.b")
+        assert equi_join_sides(where, scope, {"t"}, {"u"}) is None
+
+    def test_rejects_mixed_sides(self):
+        scope, _ = make_scope()
+        where = where_of("SELECT 1 FROM t, u WHERE t.a + u.b = u.b")
+        assert equi_join_sides(where, scope, {"t"}, {"u"}) is None
+
+
+class TestColumnEquality:
+    def test_simple_match(self):
+        where = where_of("SELECT 1 FROM t WHERE t.a = 5")
+        column, other = extract_column_equality(where, "t")
+        assert column == "a"
+        assert other == ast.Literal(5)
+
+    def test_flipped(self):
+        where = where_of("SELECT 1 FROM t WHERE 5 = t.a")
+        column, _other = extract_column_equality(where, "t")
+        assert column == "a"
+
+    def test_wrong_alias(self):
+        where = where_of("SELECT 1 FROM t WHERE t.a = 5")
+        assert extract_column_equality(where, "u") is None
+
+
+class TestRewrite:
+    def test_replace_nodes_preserves_structure(self):
+        where = where_of("SELECT 1 FROM t WHERE a + 1 = 2 AND b = 3")
+
+        def bump_literals(node):
+            if isinstance(node, ast.Literal) and node.value == 1:
+                return ast.Literal(100)
+            return None
+
+        rewritten = replace_nodes(where, bump_literals)
+        text = repr(rewritten)
+        assert "100" in text
+        assert repr(where).count("Literal") == text.count("Literal")
+
+    def test_find_relational_aggregates(self):
+        scope, _ = make_scope()
+        statement = parse_statement("SELECT SUM(a) + COUNT(*) FROM t")
+        found = find_relational_aggregates(statement.items[0].expression, scope)
+        assert len(found) == 2
+        assert {f.name for f in found} == {"SUM", "COUNT"}
+
+    def test_nested_aggregates_rejected(self):
+        scope, _ = make_scope()
+        statement = parse_statement("SELECT SUM(COUNT(a)) FROM t")
+        with pytest.raises(PlanningError):
+            find_relational_aggregates(statement.items[0].expression, scope)
+
+    def test_path_aggregate_excluded(self):
+        scope, _view = make_scope(with_path=True)
+        statement = parse_statement("SELECT SUM(PS.Edges.w) FROM g.Paths PS")
+        call = statement.items[0].expression
+        assert is_path_aggregate(call, scope)
+        assert find_relational_aggregates(call, scope) == []
+
+
+class TestClassifyPathConjuncts:
+    def classify(self, where_sql, push=True):
+        scope, view = make_scope(with_path=True)
+        statement = parse_statement(
+            f"SELECT 1 FROM t, u, g.Paths PS WHERE {where_sql}"
+        )
+        conjuncts = split_conjuncts(statement.where)
+        return classify_path_conjuncts(conjuncts, "PS", view, scope, push)
+
+    def test_start_binding_extracted(self):
+        plan = self.classify("PS.StartVertex.Id = t.a")
+        assert plan.start_expr is not None
+        assert plan.join_residual_conjuncts == []
+
+    def test_target_binding_extracted(self):
+        plan = self.classify("PS.EndVertex.Id = 3")
+        assert plan.target_expr == ast.Literal(3)
+
+    def test_positional_edge_filter(self):
+        plan = self.classify("PS.Edges[0..*].w < 5")
+        assert len(plan.edge_filters) == 1
+        assert plan.filters_position_independent
+
+    def test_indexed_filter_marks_position_dependence(self):
+        plan = self.classify("PS.Edges[1].label = 'x'")
+        assert len(plan.edge_filters) == 1
+        assert not plan.filters_position_independent
+
+    def test_sum_bound(self):
+        plan = self.classify("SUM(PS.Edges.w) < 10")
+        assert len(plan.sum_bounds) == 1
+
+    def test_cycle_constraint(self):
+        plan = self.classify("PS.StartVertexId = PS.EndVertexId")
+        assert plan.cycle_constraint
+
+    def test_two_element_refs_residual(self):
+        plan = self.classify("PS.Edges[0].w < PS.Edges[1].w")
+        assert plan.edge_filters == []
+        assert len(plan.residual_path_conjuncts) == 1
+
+    def test_mixed_alias_conjunct_is_join_residual(self):
+        plan = self.classify("PS.EndVertex.name = t.a || 'x'")
+        assert len(plan.join_residual_conjuncts) == 1
+
+    def test_pushdown_disabled_moves_everything_residual(self):
+        plan = self.classify("PS.Edges[0..*].w < 5", push=False)
+        assert plan.edge_filters == []
+        assert len(plan.residual_path_conjuncts) == 1
+
+    def test_start_vertex_attribute_filter(self):
+        plan = self.classify("PS.StartVertex.name = 'v1'")
+        assert len(plan.vertex_filters) == 1
+        filt = plan.vertex_filters[0]
+        assert (filt.start, filt.end) == (0, 0)
+
+
+class TestCompilePathPredicate:
+    def test_predicate_over_path(self):
+        scope, view = make_scope(with_path=True)
+        statement = parse_statement(
+            "SELECT 1 FROM g.Paths PS WHERE PS.Length = 2"
+        )
+        predicate = compile_path_predicate(
+            split_conjuncts(statement.where), "PS", view
+        )
+        from repro.graph import Path
+
+        topology = view.topology
+        two_hop = Path(
+            [topology.vertex(1), topology.vertex(2), topology.vertex(3)],
+            [topology.edge(1), topology.edge(2)],
+        )
+        one_hop = Path(
+            [topology.vertex(1), topology.vertex(2)], [topology.edge(1)]
+        )
+        assert predicate(two_hop)
+        assert not predicate(one_hop)
+
+    def test_empty_conjuncts_is_none(self):
+        _scope, view = make_scope(with_path=True)
+        assert compile_path_predicate([], "PS", view) is None

@@ -1,0 +1,138 @@
+"""Tests for prepared statements (the VoltDB stored-procedure model)."""
+
+import pytest
+
+from repro import Database, ExecutionError, PlanningError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE V (id INTEGER PRIMARY KEY, name VARCHAR)")
+    database.execute(
+        "CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER, "
+        "w FLOAT)"
+    )
+    for vid in range(1, 7):
+        database.execute(f"INSERT INTO V VALUES ({vid}, 'v{vid}')")
+    edges = [(1, 1, 2), (2, 2, 3), (3, 3, 4), (4, 4, 5), (5, 1, 6)]
+    for eid, s, d in edges:
+        database.execute(f"INSERT INTO E VALUES ({eid}, {s}, {d}, 1.0)")
+    database.execute(
+        "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id, name = name) FROM V "
+        "EDGES(ID = id, FROM = s, TO = d, w = w) FROM E"
+    )
+    return database
+
+
+class TestRelationalPrepared:
+    def test_simple_filter(self, db):
+        query = db.prepare("SELECT name FROM V WHERE id = ?")
+        assert query.execute(3).scalar() == "v3"
+        assert query.execute(5).scalar() == "v5"
+        assert query.execute(99).rows == []
+
+    def test_parameter_count(self, db):
+        query = db.prepare("SELECT 1 FROM V WHERE id = ? AND name = ?")
+        assert query.parameter_count == 2
+        with pytest.raises(ExecutionError):
+            query.execute(1)
+
+    def test_rebinding_does_not_leak(self, db):
+        query = db.prepare("SELECT COUNT(*) FROM V WHERE id < ?")
+        assert query.execute(3).scalar() == 2
+        assert query.execute(100).scalar() == 6
+        assert query.execute(3).scalar() == 2
+
+    def test_parameter_in_select_list(self, db):
+        query = db.prepare("SELECT id + ? FROM V WHERE id = 1")
+        assert query.execute(10).scalar() == 11
+
+    def test_prepared_uses_lazy_index_lookup(self, db):
+        db.execute("CREATE INDEX v_name ON V (name)")
+        query = db.prepare("SELECT id FROM V WHERE V.name = ?")
+        assert "IndexLookup" in query.explain()
+        assert query.execute("v2").scalar() == 2
+        assert query.execute("v4").scalar() == 4
+
+    def test_only_select_preparable(self, db):
+        with pytest.raises(PlanningError):
+            db.prepare("DELETE FROM V WHERE id = ?")
+
+    def test_sees_data_changes(self, db):
+        query = db.prepare("SELECT COUNT(*) FROM V")
+        before = query.execute().scalar()
+        db.execute("INSERT INTO V VALUES (100, 'new')")
+        assert query.execute().scalar() == before + 1
+
+
+class TestGraphPrepared:
+    def test_parameterized_reachability(self, db):
+        reach = db.prepare(
+            "SELECT PS.PathString FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = ? AND PS.EndVertex.Id = ? LIMIT 1"
+        )
+        assert reach.execute(1, 5).rows == [("1->2->3->4->5",)]
+        assert reach.execute(1, 6).rows == [("1->6",)]
+        assert reach.execute(5, 1).rows == []
+
+    def test_parameterized_start_only(self, db):
+        query = db.prepare(
+            "SELECT PS.EndVertex.name FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = ? AND PS.Length = 1"
+        )
+        assert sorted(query.execute(1).column(0)) == ["v2", "v6"]
+        assert query.execute(3).column(0) == ["v4"]
+
+    def test_parameterized_length_is_not_folded(self, db):
+        # Length inference cannot fold a parameter: it becomes a
+        # residual predicate, still correct (bounded by the default cap)
+        from repro import PlannerOptions
+
+        db.planner_options = PlannerOptions(default_max_path_length=5)
+        query = db.prepare(
+            "SELECT COUNT(*) FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = 1 AND PS.Length = ?"
+        )
+        assert query.execute(1).scalar() == 2
+        assert query.execute(4).scalar() == 1
+
+    def test_prepared_join_with_paths(self, db):
+        query = db.prepare(
+            "SELECT PS.EndVertex.name FROM V U, g.Paths PS "
+            "WHERE U.name = ? AND PS.StartVertex.Id = U.id "
+            "AND PS.Length = 2"
+        )
+        assert query.execute("v1").column(0) == ["v3"]
+        assert query.execute("v2").column(0) == ["v4"]
+
+
+class TestStreaming:
+    def test_stream_yields_lazily(self, db):
+        stream = db.stream("SELECT id FROM V ORDER BY id")
+        first = next(stream)
+        assert first == (1,)
+        # remaining rows still pending
+        assert len(list(stream)) >= 4
+
+    def test_stream_only_selects(self, db):
+        import pytest as _pytest
+        from repro import PlanningError
+
+        with _pytest.raises(PlanningError):
+            next(db.stream("DELETE FROM V"))
+
+    def test_stream_pulls_minimum_from_traversal(self, db):
+        """Consuming one row of an unbounded-ish path enumeration must
+        not enumerate everything."""
+        stream = db.stream(
+            "SELECT PS.PathString FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = 1 AND PS.Length <= 4"
+        )
+        assert next(stream).count  # got one row without exhausting
+        stream.close()
+
+    def test_prepared_stream(self, db):
+        query = db.prepare("SELECT id FROM V WHERE id > ? ORDER BY id")
+        assert list(query.stream(4)) == [(5,), (6,)]
+        assert next(query.stream(0)) == (1,)

@@ -1,0 +1,141 @@
+"""Property-based round-trip tests for the SQL renderer over randomly
+generated expression trees: parse(render(x)) == x."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import ast, parse_statement
+from repro.sql.render import render_statement
+
+
+names = st.sampled_from(["a", "b", "c", "val", "name"])
+aliases = st.sampled_from(["t", "u"])
+
+
+@st.composite
+def literals(draw):
+    value = draw(
+        st.one_of(
+            st.integers(min_value=0, max_value=10_000),
+            st.floats(
+                min_value=0.0,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("Lu", "Ll", "Nd"),
+                    whitelist_characters=" '_-",
+                ),
+                max_size=12,
+            ),
+            st.booleans(),
+            st.none(),
+        )
+    )
+    return ast.Literal(value)
+
+
+@st.composite
+def column_refs(draw):
+    return ast.FieldAccess(draw(aliases), [ast.NameAccessor(draw(names))])
+
+
+def expressions(depth: int):
+    if depth <= 0:
+        return st.one_of(literals(), column_refs())
+    sub = expressions(depth - 1)
+
+    @st.composite
+    def binary(draw):
+        op = draw(
+            st.sampled_from(
+                ["AND", "OR", "=", "<>", "<", "<=", ">", ">=", "+", "-", "*"]
+            )
+        )
+        return ast.BinaryOp(op, draw(sub), draw(sub))
+
+    @st.composite
+    def negation(draw):
+        return ast.UnaryOp("NOT", draw(sub))
+
+    @st.composite
+    def in_list(draw):
+        items = draw(st.lists(literals(), min_size=1, max_size=3))
+        return ast.InList(draw(sub), items, draw(st.booleans()))
+
+    @st.composite
+    def between(draw):
+        return ast.Between(
+            draw(sub), draw(literals()), draw(literals()), draw(st.booleans())
+        )
+
+    @st.composite
+    def is_null(draw):
+        return ast.IsNull(draw(sub), draw(st.booleans()))
+
+    @st.composite
+    def function(draw):
+        name = draw(st.sampled_from(["ABS", "COALESCE", "LENGTH", "UPPER"]))
+        args = draw(st.lists(sub, min_size=1, max_size=2))
+        return ast.FunctionCall(name, args)
+
+    @st.composite
+    def case_when(draw):
+        branches = draw(
+            st.lists(st.tuples(sub, literals()), min_size=1, max_size=2)
+        )
+        otherwise = draw(st.one_of(st.none(), literals()))
+        return ast.CaseWhen(branches, otherwise)
+
+    return st.one_of(
+        literals(),
+        column_refs(),
+        binary(),
+        negation(),
+        in_list(),
+        between(),
+        is_null(),
+        function(),
+        case_when(),
+    )
+
+
+@st.composite
+def random_selects(draw):
+    item_expressions = draw(
+        st.lists(expressions(2), min_size=1, max_size=3)
+    )
+    where = draw(st.one_of(st.none(), expressions(2)))
+    order = draw(st.one_of(st.none(), column_refs()))
+    return ast.Select(
+        [ast.SelectItem(e) for e in item_expressions],
+        [ast.TableRef("t"), ast.TableRef("u")],
+        where=where,
+        order_by=[ast.OrderItem(order, draw(st.booleans()))] if order else [],
+        limit=draw(st.one_of(st.none(), st.integers(0, 99))),
+        distinct=draw(st.booleans()),
+    )
+
+
+class TestRandomRoundTrips:
+    @given(random_selects())
+    @settings(max_examples=200, deadline=None)
+    def test_select_round_trip(self, select):
+        rendered = render_statement(select)
+        reparsed = parse_statement(rendered)
+        assert reparsed == select, rendered
+
+    @given(st.lists(st.tuples(names, literals()), min_size=1, max_size=3))
+    @settings(max_examples=100, deadline=None)
+    def test_update_round_trip(self, assignments):
+        statement = ast.Update("t", assignments, None)
+        assert parse_statement(render_statement(statement)) == statement
+
+    @given(st.lists(st.lists(literals(), min_size=1, max_size=3), min_size=1, max_size=3))
+    @settings(max_examples=100, deadline=None)
+    def test_insert_round_trip(self, rows):
+        width = len(rows[0])
+        rows = [row[:width] + [ast.Literal(None)] * (width - len(row)) for row in rows]
+        statement = ast.Insert("t", None, rows)
+        assert parse_statement(render_statement(statement)) == statement

@@ -1,0 +1,139 @@
+"""Property-based tests for the storage layer.
+
+Invariants checked under random operation sequences:
+
+* ``row_count`` equals the number of live rows;
+* the primary-key index always resolves to the row holding that key;
+* secondary indexes stay consistent with a brute-force scan;
+* tuple pointers either dereference to the current row or raise.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConstraintViolation, ExecutionError
+from repro.storage import Column, HashIndex, Table, TableSchema
+from repro.types import SqlType
+
+
+def make_table(with_index=False):
+    table = Table(
+        "t",
+        TableSchema(
+            [
+                Column("id", SqlType.INTEGER, primary_key=True),
+                Column("val", SqlType.INTEGER),
+            ]
+        ),
+    )
+    if with_index:
+        table.attach_index(HashIndex("by_val", table.schema, ["val"]))
+    return table
+
+
+# an operation is (kind, key, value)
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update"]),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=5),
+    ),
+    max_size=60,
+)
+
+
+def apply_operations(table, ops):
+    """Drive the table and an oracle dict through the same sequence."""
+    oracle = {}
+    for kind, key, value in ops:
+        if kind == "insert":
+            if key in oracle:
+                with pytest.raises(ConstraintViolation):
+                    table.insert((key, value))
+            else:
+                table.insert((key, value))
+                oracle[key] = value
+        elif kind == "delete":
+            slot = table.lookup_primary_key((key,))
+            if key in oracle:
+                assert slot is not None
+                table.delete(slot)
+                del oracle[key]
+            else:
+                assert slot is None
+        else:  # update value in place
+            slot = table.lookup_primary_key((key,))
+            if key in oracle:
+                table.update(slot, (key, value))
+                oracle[key] = value
+            else:
+                assert slot is None
+    return oracle
+
+
+class TestTableInvariants:
+    @given(operations)
+    @settings(max_examples=120, deadline=None)
+    def test_row_count_and_contents_match_oracle(self, ops):
+        table = make_table()
+        oracle = apply_operations(table, ops)
+        assert table.row_count == len(oracle)
+        stored = {row[0]: row[1] for row in table.rows()}
+        assert stored == oracle
+
+    @given(operations)
+    @settings(max_examples=120, deadline=None)
+    def test_primary_key_index_consistent(self, ops):
+        table = make_table()
+        oracle = apply_operations(table, ops)
+        for key in range(16):
+            slot = table.lookup_primary_key((key,))
+            if key in oracle:
+                assert table.row_at(slot) == (key, oracle[key])
+            else:
+                assert slot is None
+
+    @given(operations)
+    @settings(max_examples=120, deadline=None)
+    def test_secondary_index_matches_scan(self, ops):
+        table = make_table(with_index=True)
+        apply_operations(table, ops)
+        index = table.indexes["by_val"]
+        for value in range(6):
+            via_index = sorted(table.row_at(s)[0] for s in index.lookup((value,)))
+            via_scan = sorted(
+                row[0] for row in table.rows() if row[1] == value
+            )
+            assert via_index == via_scan
+
+    @given(operations)
+    @settings(max_examples=80, deadline=None)
+    def test_tuple_pointers_never_lie(self, ops):
+        """Any pointer taken at any time either sees the row that now
+        occupies its (slot, generation) or raises — never a wrong row."""
+        table = make_table()
+        pointers = []
+        oracle = {}
+        for kind, key, value in ops:
+            if kind == "insert" and key not in oracle:
+                pointer = table.insert((key, value))
+                pointers.append((pointer, key))
+                oracle[key] = value
+            elif kind == "delete" and key in oracle:
+                table.delete(table.lookup_primary_key((key,)))
+                del oracle[key]
+            elif kind == "update" and key in oracle:
+                table.update(table.lookup_primary_key((key,)), (key, value))
+                oracle[key] = value
+        for pointer, key in pointers:
+            if key in oracle:
+                if pointer.is_live:
+                    assert pointer.dereference() == (key, oracle[key])
+            else:
+                # the original row is gone: the pointer must not
+                # silently resolve to a different row
+                if pointer.is_live:
+                    assert pointer.dereference()[0] == key
+                else:
+                    with pytest.raises(ExecutionError):
+                        pointer.dereference()

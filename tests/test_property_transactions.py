@@ -1,0 +1,138 @@
+"""Property-based transaction tests: random DML interleaved with random
+commit/rollback decisions must leave tables and graph topology exactly
+matching a shadow oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+from repro.errors import DatabaseError
+
+
+def fresh_database():
+    db = Database()
+    db.execute("CREATE TABLE V (id INTEGER PRIMARY KEY, n INTEGER)")
+    db.execute(
+        "CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER)"
+    )
+    db.execute(
+        "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id, n = n) FROM V "
+        "EDGES(ID = id, FROM = s, TO = d) FROM E"
+    )
+    return db
+
+
+class Oracle:
+    """Shadow state with transactional snapshots."""
+
+    def __init__(self):
+        self.vertices = {}
+        self.edges = {}
+        self._saved = None
+
+    def begin(self):
+        self._saved = (dict(self.vertices), dict(self.edges))
+
+    def commit(self):
+        self._saved = None
+
+    def rollback(self):
+        self.vertices, self.edges = self._saved
+        self._saved = None
+
+
+# operation stream: (op, key1, key2)
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "begin",
+                "commit",
+                "rollback",
+                "add_vertex",
+                "del_vertex",
+                "add_edge",
+                "del_edge",
+                "update_vertex",
+            ]
+        ),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=50,
+)
+
+
+def apply(db, oracle, op, x, y, next_edge_id):
+    in_txn = db.transactions.in_transaction
+    if op == "begin":
+        if not in_txn:
+            db.begin()
+            oracle.begin()
+        return
+    if op == "commit":
+        if in_txn:
+            db.commit()
+            oracle.commit()
+        return
+    if op == "rollback":
+        if in_txn:
+            db.rollback()
+            oracle.rollback()
+        return
+    # DML: legal operations only (illegal ones are covered elsewhere)
+    if op == "add_vertex" and x not in oracle.vertices:
+        db.execute(f"INSERT INTO V VALUES ({x}, {y})")
+        oracle.vertices[x] = y
+    elif op == "update_vertex" and x in oracle.vertices:
+        db.execute(f"UPDATE V SET n = {y} WHERE id = {x}")
+        oracle.vertices[x] = y
+    elif op == "del_vertex" and x in oracle.vertices:
+        if any(x in (s, d) for s, d in oracle.edges.values()):
+            return  # engine would (correctly) refuse
+        db.execute(f"DELETE FROM V WHERE id = {x}")
+        del oracle.vertices[x]
+    elif op == "add_edge" and x in oracle.vertices and y in oracle.vertices:
+        eid = next_edge_id[0]
+        next_edge_id[0] += 1
+        db.execute(f"INSERT INTO E VALUES ({eid}, {x}, {y})")
+        oracle.edges[eid] = (x, y)
+    elif op == "del_edge" and oracle.edges:
+        eid = sorted(oracle.edges)[x % len(oracle.edges)]
+        db.execute(f"DELETE FROM E WHERE id = {eid}")
+        del oracle.edges[eid]
+
+
+@given(operations)
+@settings(max_examples=80, deadline=None)
+def test_state_matches_oracle_through_transactions(ops):
+    db = fresh_database()
+    oracle = Oracle()
+    next_edge_id = [100]
+    for op, x, y in ops:
+        apply(db, oracle, op, x, y, next_edge_id)
+    # close any open transaction by rolling it back (both sides)
+    if db.transactions.in_transaction:
+        db.rollback()
+        oracle.rollback()
+
+    stored_vertices = {
+        row[0]: row[1] for row in db.execute("SELECT id, n FROM V").rows
+    }
+    assert stored_vertices == oracle.vertices
+    stored_edges = {
+        row[0]: (row[1], row[2])
+        for row in db.execute("SELECT id, s, d FROM E").rows
+    }
+    assert stored_edges == oracle.edges
+
+    topology = db.graph_view("g").topology
+    assert set(topology.vertices) == set(oracle.vertices)
+    assert set(topology.edges) == set(oracle.edges)
+    for eid, (s, d) in oracle.edges.items():
+        edge = topology.edge(eid)
+        assert (edge.from_id, edge.to_id) == (s, d)
+    # attribute access through tuple pointers still works for all
+    view = db.graph_view("g")
+    for vid, n in oracle.vertices.items():
+        assert view.vertex_attribute(topology.vertex(vid), "n") == n

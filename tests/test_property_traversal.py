@@ -1,0 +1,160 @@
+"""Property-based tests for graph traversal, with networkx as oracle.
+
+Invariants on random graphs:
+
+* every produced path is *well-formed*: consecutive vertices joined by
+  the listed edges, simple except for a possible closing cycle;
+* DFScan and BFScan enumerate exactly the same path set;
+* reachability through the engine matches networkx;
+* SPScan distances match networkx Dijkstra, and costs are non-decreasing;
+* the global-visited BFS discipline finds hop-minimal witnesses.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import TraversalSpec, bfs_paths, dfs_paths, shortest_paths
+
+from .graph_fixtures import make_graph_view
+
+
+@st.composite
+def random_graph(draw, max_vertices=8, directed=None):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    if directed is None:
+        directed = draw(st.booleans())
+    possible = [
+        (a, b) for a in range(n) for b in range(n) if a != b
+    ]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=2 * n)
+    )
+    edges = [
+        (i, a, b, float(draw(st.integers(min_value=1, max_value=9))), "x")
+        for i, (a, b) in enumerate(chosen)
+    ]
+    return n, edges, directed
+
+
+def to_networkx(n, edges, directed):
+    graph = nx.DiGraph() if directed else nx.Graph()
+    graph.add_nodes_from(range(n))
+    for eid, a, b, w, _label in edges:
+        # parallel edges: keep the lighter one (nx.Graph collapses them)
+        if graph.has_edge(a, b):
+            w = min(w, graph[a][b]["weight"])
+        graph.add_edge(a, b, weight=w)
+    return graph
+
+
+def check_path_well_formed(view, path):
+    """Edges must join consecutive vertices; inner vertices unique."""
+    ids = path.vertex_ids()
+    inner = ids[:-1]
+    assert len(inner) == len(set(inner))
+    if len(ids) != len(set(ids)):
+        assert ids[0] == ids[-1]
+    for position, edge in enumerate(path.edges):
+        a, b = ids[position], ids[position + 1]
+        if view.directed:
+            assert (edge.from_id, edge.to_id) == (a, b)
+        else:
+            assert {edge.from_id, edge.to_id} == {a, b} or (
+                edge.from_id == edge.to_id and a == b
+            )
+    # no repeated edges within a path
+    edge_ids = path.edge_ids()
+    assert len(edge_ids) == len(set(edge_ids))
+
+
+class TestEnumerationProperties:
+    @given(random_graph())
+    @settings(max_examples=80, deadline=None)
+    def test_paths_are_well_formed(self, data):
+        n, edges, directed = data
+        view, _vt, _et = make_graph_view(range(n), edges, directed=directed)
+        spec = TraversalSpec(max_length=3)
+        for path in dfs_paths(view, [0], spec):
+            check_path_well_formed(view, path)
+
+    @given(random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_dfs_and_bfs_agree(self, data):
+        n, edges, directed = data
+        view, _vt, _et = make_graph_view(range(n), edges, directed=directed)
+        spec = TraversalSpec(max_length=3)
+        dfs_set = {
+            (tuple(p.vertex_ids()), tuple(p.edge_ids()))
+            for p in dfs_paths(view, [0], spec)
+        }
+        bfs_set = {
+            (tuple(p.vertex_ids()), tuple(p.edge_ids()))
+            for p in bfs_paths(view, [0], spec)
+        }
+        assert dfs_set == bfs_set
+
+    @given(random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_length_bounds_respected(self, data):
+        n, edges, directed = data
+        view, _vt, _et = make_graph_view(range(n), edges, directed=directed)
+        spec = TraversalSpec(min_length=2, max_length=3)
+        for path in dfs_paths(view, None, spec):
+            assert 2 <= path.length <= 3
+
+
+class TestReachabilityAgainstNetworkx:
+    @given(random_graph())
+    @settings(max_examples=80, deadline=None)
+    def test_global_bfs_matches_networkx(self, data):
+        n, edges, directed = data
+        view, _vt, _et = make_graph_view(range(n), edges, directed=directed)
+        oracle = to_networkx(n, edges, directed)
+        reachable_oracle = set(nx.descendants(oracle, 0))
+        spec = TraversalSpec(max_length=n + 1, unique_vertices=True)
+        reached = {p.end_vertex_id for p in bfs_paths(view, [0], spec)}
+        assert reached == reachable_oracle
+
+    @given(random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_global_bfs_paths_are_hop_minimal(self, data):
+        n, edges, directed = data
+        view, _vt, _et = make_graph_view(range(n), edges, directed=directed)
+        oracle = to_networkx(n, edges, directed)
+        lengths = nx.single_source_shortest_path_length(oracle, 0)
+        spec = TraversalSpec(max_length=n + 1, unique_vertices=True)
+        for path in bfs_paths(view, [0], spec):
+            assert path.length == lengths[path.end_vertex_id]
+
+
+class TestShortestPathsAgainstNetworkx:
+    @given(random_graph())
+    @settings(max_examples=80, deadline=None)
+    def test_dijkstra_distances_match(self, data):
+        n, edges, directed = data
+        view, _vt, _et = make_graph_view(range(n), edges, directed=directed)
+        oracle = to_networkx(n, edges, directed)
+        distances = nx.single_source_dijkstra_path_length(
+            oracle, 0, weight="weight"
+        )
+        spec = TraversalSpec(max_length=n + 1)
+        weight_of = view.edge_attribute_reader("w")
+        produced = {
+            p.end_vertex_id: p.cost
+            for p in shortest_paths(view, [0], spec, weight_of)
+        }
+        for vertex, distance in distances.items():
+            if vertex == 0:
+                continue
+            assert produced[vertex] == pytest.approx(distance)
+
+    @given(random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_costs_non_decreasing(self, data):
+        n, edges, directed = data
+        view, _vt, _et = make_graph_view(range(n), edges, directed=directed)
+        spec = TraversalSpec(max_length=n + 1)
+        weight_of = view.edge_attribute_reader("w")
+        costs = [p.cost for p in shortest_paths(view, [0], spec, weight_of)]
+        assert costs == sorted(costs)

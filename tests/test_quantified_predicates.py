@@ -1,0 +1,143 @@
+"""Systematic tests of the quantified path-range semantics (Section 4):
+a predicate over ``PS.Edges[i..j].attr`` holds iff every element in the
+range satisfies it."""
+
+import pytest
+
+from repro import Database, PlannerOptions, PlanningError
+
+
+@pytest.fixture
+def db():
+    """A 5-hop chain with increasing edge weights and NULL at hop 3."""
+    database = Database()
+    database.execute("CREATE TABLE V (id INTEGER PRIMARY KEY)")
+    database.execute(
+        "CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER, "
+        "w FLOAT, tag VARCHAR)"
+    )
+    for vid in range(6):
+        database.execute(f"INSERT INTO V VALUES ({vid})")
+    edges = [
+        (0, 0, 1, 1.0, "a"),
+        (1, 1, 2, 2.0, "a"),
+        (2, 2, 3, 3.0, "b"),
+        (3, 3, 4, None, "b"),
+        (4, 4, 5, 5.0, "a"),
+    ]
+    for eid, s, d, w, tag in edges:
+        w_sql = "NULL" if w is None else w
+        database.execute(
+            f"INSERT INTO E VALUES ({eid}, {s}, {d}, {w_sql}, '{tag}')"
+        )
+    database.execute(
+        "CREATE DIRECTED GRAPH VIEW chain VERTEXES(ID = id) FROM V "
+        "EDGES(ID = id, FROM = s, TO = d, w = w, tag = tag) FROM E"
+    )
+    return database
+
+
+def paths(db, where, push=True):
+    db.planner_options = PlannerOptions(push_path_filters=push)
+    result = db.execute(
+        "SELECT PS.PathString FROM chain.Paths PS "
+        f"WHERE PS.StartVertex.Id = 0 AND {where}"
+    )
+    return sorted(result.column(0))
+
+
+class TestOpenRanges:
+    @pytest.mark.parametrize("push", [True, False], ids=["pushed", "residual"])
+    def test_all_edges_must_satisfy(self, db, push):
+        # w < 3 holds for edges 0,1 only -> paths up to length 2
+        assert paths(db, "PS.Edges[0..*].w < 3 AND PS.Length <= 5", push) == [
+            "0->1",
+            "0->1->2",
+        ]
+
+    @pytest.mark.parametrize("push", [True, False], ids=["pushed", "residual"])
+    def test_null_attribute_fails_the_range(self, db, push):
+        # edge 3 has NULL weight: any range covering it is not TRUE
+        result = paths(db, "PS.Edges[0..*].w < 10 AND PS.Length <= 5", push)
+        assert "0->1->2->3" in result
+        assert "0->1->2->3->4" not in result
+
+    @pytest.mark.parametrize("push", [True, False], ids=["pushed", "residual"])
+    def test_suffix_range(self, db, push):
+        # Edges[2..*]: positions >= 2 must have tag 'b'; implies len >= 3
+        result = paths(db, "PS.Edges[2..*].tag = 'b' AND PS.Length <= 4", push)
+        assert result == ["0->1->2->3", "0->1->2->3->4"]
+
+
+class TestBoundedRanges:
+    @pytest.mark.parametrize("push", [True, False], ids=["pushed", "residual"])
+    def test_bounded_range(self, db, push):
+        # positions 1..2 must be 'a','b'... tag at 1 is 'a', at 2 is 'b'
+        result = paths(db, "PS.Edges[1..2].tag = 'a' AND PS.Length = 3", push)
+        assert result == []  # position 2 has tag 'b'
+        result = paths(db, "PS.Edges[0..1].tag = 'a' AND PS.Length = 3", push)
+        assert result == ["0->1->2->3"]
+
+    @pytest.mark.parametrize("push", [True, False], ids=["pushed", "residual"])
+    def test_degenerate_range_is_single_index(self, db, push):
+        assert paths(db, "PS.Edges[1..1].tag = 'a' AND PS.Length = 2", push) == [
+            "0->1->2"
+        ]
+
+
+class TestRangesInCompoundPredicates:
+    def test_range_inside_in_list(self, db):
+        result = paths(
+            db, "PS.Edges[0..*].tag IN ('a', 'b') AND PS.Length <= 5"
+        )
+        assert len(result) == 5  # every prefix qualifies
+
+    def test_range_inside_between(self, db):
+        result = paths(
+            db, "PS.Edges[0..*].w BETWEEN 1 AND 3 AND PS.Length <= 5"
+        )
+        assert result == ["0->1", "0->1->2", "0->1->2->3"]
+
+    def test_range_with_arithmetic(self, db):
+        result = paths(
+            db, "PS.Edges[0..*].w * 2 < 5 AND PS.Length <= 5"
+        )
+        assert result == ["0->1", "0->1->2"]
+
+    def test_two_ranges_in_one_predicate_rejected(self, db):
+        with pytest.raises(PlanningError, match="at most one"):
+            db.execute(
+                "SELECT 1 FROM chain.Paths PS "
+                "WHERE PS.Edges[0..*].w < PS.Edges[1..*].w"
+            )
+
+    def test_negated_range_predicate(self, db):
+        # NOT (every edge has tag 'a') — i.e. some edge is not 'a'
+        result = paths(
+            db, "NOT PS.Edges[0..*].tag = 'a' AND PS.Length <= 3"
+        )
+        assert result == ["0->1->2->3"]
+
+
+class TestVertexRanges:
+    def test_vertex_range_filter(self, db):
+        result = paths(db, "PS.Vertexes[0..*].Id < 4 AND PS.Length <= 5")
+        assert result == ["0->1", "0->1->2", "0->1->2->3"]
+
+    def test_vertex_single_position(self, db):
+        result = paths(db, "PS.Vertexes[2].Id = 2 AND PS.Length = 2")
+        assert result == ["0->1->2"]
+
+
+class TestPushedAndResidualAgree:
+    @pytest.mark.parametrize(
+        "where",
+        [
+            "PS.Edges[0..*].w < 4 AND PS.Length <= 5",
+            "PS.Edges[1..3].tag = 'b' AND PS.Length <= 5",
+            "PS.Edges[0..*].tag <> 'b' AND PS.Length <= 5",
+            "PS.Vertexes[1..*].Id > 0 AND PS.Length <= 5",
+        ],
+    )
+    def test_equivalence(self, db, where):
+        assert paths(db, where, push=True) == paths(db, where, push=False)

@@ -1,0 +1,60 @@
+"""Unit tests for ResultSet helpers."""
+
+import pytest
+
+from repro.core.result import ResultSet
+
+
+def sample():
+    return ResultSet(
+        ["id", "name"], [(1, "ann"), (2, "bob"), (3, None)]
+    )
+
+
+class TestBasics:
+    def test_len_and_iter(self):
+        result = sample()
+        assert len(result) == 3
+        assert list(result)[0] == (1, "ann")
+
+    def test_bool(self):
+        assert sample()
+        assert not ResultSet(["a"], [])
+
+    def test_rows_are_tuples(self):
+        result = ResultSet(["a"], [[1], [2]])
+        assert all(isinstance(row, tuple) for row in result.rows)
+
+    def test_rowcount_defaults_to_len(self):
+        assert sample().rowcount == 3
+
+    def test_explicit_rowcount(self):
+        assert ResultSet(rowcount=7).rowcount == 7
+
+
+class TestAccessors:
+    def test_first(self):
+        assert sample().first() == (1, "ann")
+        assert ResultSet(["a"], []).first() is None
+
+    def test_scalar(self):
+        assert ResultSet(["n"], [(42,)]).scalar() == 42
+        assert ResultSet(["n"], []).scalar() is None
+
+    def test_column_by_name_case_insensitive(self):
+        assert sample().column("NAME") == ["ann", "bob", None]
+
+    def test_column_by_index(self):
+        assert sample().column(0) == [1, 2, 3]
+
+    def test_column_unknown_raises(self):
+        with pytest.raises(ValueError):
+            sample().column("zzz")
+
+    def test_to_dicts(self):
+        dicts = sample().to_dicts()
+        assert dicts[0] == {"id": 1, "name": "ann"}
+        assert len(dicts) == 3
+
+    def test_repr(self):
+        assert "rows=3" in repr(sample())

@@ -1,0 +1,97 @@
+"""Moderate-scale integration tests: the engine must stay correct and
+responsive on graphs in the 10^3-10^4 element range."""
+
+import time
+
+import pytest
+
+from repro.bench import adjacency_of, bfs_distances, reachability_pairs
+from repro.datasets import (
+    follower_network,
+    load_into_grfusion,
+    road_network,
+)
+
+
+@pytest.fixture(scope="module")
+def big_road():
+    dataset = road_network(width=40, height=40, seed=77)  # 1600 vertices
+    db, view_name = load_into_grfusion(dataset)
+    return dataset, db, view_name
+
+
+class TestScaleRoad:
+    def test_topology_size(self, big_road):
+        dataset, db, view_name = big_road
+        view = db.graph_view(view_name)
+        assert view.topology.vertex_count == 1600
+        assert view.topology.edge_count == dataset.edge_count
+
+    def test_many_prepared_reachability_queries(self, big_road):
+        dataset, db, view_name = big_road
+        prepared = db.prepare(
+            f"SELECT PS.PathString FROM {view_name}.Paths PS "
+            "WHERE PS.StartVertex.Id = ? AND PS.EndVertex.Id = ? LIMIT 1"
+        )
+        pairs = reachability_pairs(dataset, 15, 25, seed=3)
+        assert len(pairs) == 25
+        started = time.perf_counter()
+        for source, target in pairs:
+            assert prepared.execute(source, target).rows
+        elapsed = time.perf_counter() - started
+        assert elapsed < 5.0, f"25 deep reachability queries took {elapsed:.1f}s"
+
+    def test_shortest_path_agrees_with_bfs_bound(self, big_road):
+        dataset, db, view_name = big_road
+        adjacency = adjacency_of(dataset)
+        distances = bfs_distances(adjacency, 0)
+        target = max(distances, key=distances.get)
+        result = db.execute(
+            f"SELECT PS.PathString FROM {view_name}.Paths PS "
+            "HINT(SHORTESTPATH(w)) "
+            f"WHERE PS.StartVertex.Id = 0 AND PS.EndVertex.Id = {target} "
+            "LIMIT 1"
+        )
+        hops = result.scalar().count("->")
+        # the weighted shortest path can't use fewer hops than the
+        # unweighted minimum
+        assert hops >= distances[target]
+
+    def test_aggregate_over_whole_edge_table(self, big_road):
+        _dataset, db, view_name = big_road
+        result = db.execute(
+            f"SELECT COUNT(*), AVG(ES.w) FROM {view_name}.Edges ES"
+        )
+        count, average = result.first()
+        assert count == db.graph_view(view_name).topology.edge_count
+        assert 0.2 <= average <= 3.0
+
+
+class TestScaleFollower:
+    def test_bulk_update_with_view_maintenance(self):
+        dataset = follower_network(n=1500, out_degree=5, seed=78)
+        db, view_name = load_into_grfusion(dataset)
+        view = db.graph_view(view_name)
+        started = time.perf_counter()
+        affected = db.execute(
+            f"UPDATE {dataset.name}_e SET esel = 0 WHERE esel < 50"
+        ).rowcount
+        elapsed = time.perf_counter() - started
+        assert affected > 1000
+        assert elapsed < 5.0
+        # attribute-only updates never touch the topology objects
+        assert view.topology.edge_count == dataset.edge_count
+
+    def test_transactional_bulk_rollback(self):
+        dataset = follower_network(n=800, out_degree=4, seed=79)
+        db, view_name = load_into_grfusion(dataset)
+        view = db.graph_view(view_name)
+        edges_before = view.topology.edge_count
+        db.begin()
+        deleted = db.execute(
+            f"DELETE FROM {dataset.name}_e WHERE esel < 30"
+        ).rowcount
+        assert deleted > 100
+        assert view.topology.edge_count == edges_before - deleted
+        db.rollback()
+        assert view.topology.edge_count == edges_before

@@ -1,0 +1,88 @@
+"""Tests for UNION / UNION ALL and EXISTS subqueries."""
+
+import pytest
+
+from repro import Database, ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE a (x INTEGER, y VARCHAR)")
+    database.execute("CREATE TABLE b (x INTEGER, y VARCHAR)")
+    database.execute("INSERT INTO a VALUES (1, 'one'), (2, 'two')")
+    database.execute("INSERT INTO b VALUES (2, 'two'), (3, 'three')")
+    return database
+
+
+class TestUnion:
+    def test_union_deduplicates(self, db):
+        result = db.execute(
+            "SELECT x, y FROM a UNION SELECT x, y FROM b"
+        )
+        assert sorted(result.rows) == [(1, "one"), (2, "two"), (3, "three")]
+
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.execute(
+            "SELECT x, y FROM a UNION ALL SELECT x, y FROM b"
+        )
+        assert len(result) == 4
+
+    def test_column_names_from_left(self, db):
+        result = db.execute(
+            "SELECT x AS num FROM a UNION SELECT x FROM b"
+        )
+        assert result.columns == ["num"]
+
+    def test_chained_unions(self, db):
+        result = db.execute(
+            "SELECT x FROM a UNION SELECT x FROM b UNION SELECT x + 10 FROM a"
+        )
+        assert sorted(result.column(0)) == [1, 2, 3, 11, 12]
+
+    def test_arity_mismatch_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT x FROM a UNION SELECT x, y FROM b")
+
+    def test_union_with_graph_query(self, db):
+        db.execute("CREATE TABLE V (id INTEGER PRIMARY KEY)")
+        db.execute(
+            "CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER)"
+        )
+        db.execute("INSERT INTO V VALUES (1), (2)")
+        db.execute("INSERT INTO E VALUES (1, 1, 2)")
+        db.execute(
+            "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id) FROM V "
+            "EDGES(ID = id, FROM = s, TO = d) FROM E"
+        )
+        result = db.execute(
+            "SELECT VS.Id FROM g.Vertexes VS UNION SELECT x FROM a"
+        )
+        assert sorted(result.column(0)) == [1, 2]
+
+
+class TestExists:
+    def test_exists_true(self, db):
+        result = db.execute(
+            "SELECT x FROM a WHERE EXISTS (SELECT 1 FROM b WHERE b.x = 3)"
+        )
+        assert len(result) == 2  # uncorrelated: all rows pass
+
+    def test_exists_false(self, db):
+        result = db.execute(
+            "SELECT x FROM a WHERE EXISTS (SELECT 1 FROM b WHERE b.x = 99)"
+        )
+        assert result.rows == []
+
+    def test_not_exists(self, db):
+        result = db.execute(
+            "SELECT x FROM a WHERE NOT EXISTS "
+            "(SELECT 1 FROM b WHERE b.x = 99)"
+        )
+        assert len(result) == 2
+
+    def test_exists_in_delete(self, db):
+        db.execute(
+            "DELETE FROM a WHERE EXISTS (SELECT 1 FROM b WHERE b.x = 2)"
+        )
+        assert db.execute("SELECT COUNT(*) FROM a").scalar() == 0

@@ -1,0 +1,180 @@
+"""Tests for the interactive shell (streams injected, no TTY needed)."""
+
+import io
+
+import pytest
+
+from repro import Database
+from repro.shell import Shell, format_result
+from repro.core.result import ResultSet
+
+
+def run_lines(lines, database=None):
+    out = io.StringIO()
+    shell = Shell(database=database, out=out)
+    for line in lines:
+        if shell.done:
+            break
+        shell.feed_line(line)
+    return out.getvalue(), shell
+
+
+class TestStatementHandling:
+    def test_create_insert_select(self):
+        output, _shell = run_lines(
+            [
+                "CREATE TABLE t (a INTEGER, b VARCHAR);",
+                "INSERT INTO t VALUES (1, 'x');",
+                "SELECT * FROM t;",
+            ]
+        )
+        assert "1 row(s) affected" in output
+        assert "a" in output and "b" in output
+        assert "1 | x" in output
+
+    def test_multiline_statement(self):
+        output, _shell = run_lines(
+            [
+                "CREATE TABLE t (a INTEGER);",
+                "SELECT a",
+                "FROM t",
+                "WHERE a > 0;",
+            ]
+        )
+        assert "(0 row(s))" in output
+
+    def test_error_reported_not_raised(self):
+        output, shell = run_lines(["SELECT * FROM missing;"])
+        assert "error:" in output
+        assert not shell.done
+
+    def test_prompt_changes_mid_statement(self):
+        _output, shell = run_lines(["SELECT 1"])
+        assert shell.prompt().strip().endswith("...>")
+
+    def test_null_rendering(self):
+        output, _shell = run_lines(
+            [
+                "CREATE TABLE t (a INTEGER);",
+                "INSERT INTO t VALUES (NULL);",
+                "SELECT a FROM t;",
+            ]
+        )
+        assert "NULL" in output
+
+
+class TestDotCommands:
+    def test_quit(self):
+        _output, shell = run_lines([".quit", "SELECT 1;"])
+        assert shell.done
+
+    def test_help(self):
+        output, _shell = run_lines([".help"])
+        assert ".tables" in output
+        assert ".schema" in output
+
+    def test_tables_lists_everything(self):
+        db = Database()
+        db.execute("CREATE TABLE V (id INTEGER PRIMARY KEY)")
+        db.execute("CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER)")
+        db.execute("CREATE VIEW v1 AS SELECT id FROM V")
+        db.execute(
+            "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id) FROM V "
+            "EDGES(ID = id, FROM = s, TO = d) FROM E"
+        )
+        output, _shell = run_lines([".tables"], database=db)
+        assert "table       V" in output
+        assert "view        v1" in output
+        assert "graph view  g" in output
+
+    def test_schema_table(self):
+        db = Database()
+        db.execute(
+            "CREATE TABLE t (a INTEGER PRIMARY KEY, b VARCHAR NOT NULL)"
+        )
+        output, _shell = run_lines([".schema t"], database=db)
+        assert "a INTEGER PRIMARY KEY" in output
+        assert "b VARCHAR NOT NULL" in output
+
+    def test_schema_graph_view(self):
+        db = Database()
+        db.execute("CREATE TABLE V (id INTEGER PRIMARY KEY, n VARCHAR)")
+        db.execute("CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER)")
+        db.execute(
+            "CREATE UNDIRECTED GRAPH VIEW g VERTEXES(ID = id, n = n) FROM V "
+            "EDGES(ID = id, FROM = s, TO = d) FROM E"
+        )
+        output, _shell = run_lines([".schema g"], database=db)
+        assert "undirected" in output
+        assert "vertexes from V" in output
+
+    def test_schema_unknown(self):
+        output, _shell = run_lines([".schema nothere"])
+        assert "unknown object" in output
+
+    def test_explain(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER)")
+        output, _shell = run_lines([".explain SELECT a FROM t"], database=db)
+        assert "SeqScan" in output
+
+    def test_timer_toggle(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER)")
+        output, _shell = run_lines(
+            [".timer on", "SELECT a FROM t;"], database=db
+        )
+        assert "timer on" in output
+        assert "time:" in output
+
+    def test_unknown_command(self):
+        output, _shell = run_lines([".frobnicate"])
+        assert "unknown command" in output
+
+    def test_run_script(self, tmp_path):
+        script = tmp_path / "setup.sql"
+        script.write_text(
+            "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (7);"
+        )
+        db = Database()
+        output, _shell = run_lines([f".run {script}"], database=db)
+        assert "ok (2 statement(s))" in output
+        assert db.execute("SELECT a FROM t").scalar() == 7
+
+    def test_run_missing_file(self):
+        output, _shell = run_lines([".run /does/not/exist.sql"])
+        assert "cannot read" in output
+
+
+class TestFormatResult:
+    def test_dml_summary(self):
+        assert "3 row(s) affected" in format_result(ResultSet(rowcount=3))
+
+    def test_truncation(self):
+        result = ResultSet(["n"], [(i,) for i in range(500)])
+        text = format_result(result, max_rows=10)
+        assert "500 rows total" in text
+
+    def test_boolean_rendering(self):
+        text = format_result(ResultSet(["b"], [(True,), (False,)]))
+        assert "true" in text and "false" in text
+
+
+class TestRunLoop:
+    def test_run_with_injected_lines(self):
+        out = io.StringIO()
+        shell = Shell(out=out)
+        shell.run(
+            [
+                "CREATE TABLE t (a INTEGER);",
+                "INSERT INTO t VALUES (5);",
+                "SELECT a FROM t;",
+                ".quit",
+                "SELECT never_reached;",
+            ]
+        )
+        text = out.getvalue()
+        assert "repro shell" in text
+        assert "5" in text
+        assert "never_reached" not in text
+        assert shell.done

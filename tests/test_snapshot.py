@@ -1,0 +1,145 @@
+"""Tests for database snapshots (save / restore round trips)."""
+
+import pytest
+
+from repro import Database, ExecutionError
+from repro.core.snapshot import (
+    load_snapshot,
+    restore_into,
+    save_snapshot,
+    snapshot_to_dict,
+)
+
+
+def build_database():
+    db = Database()
+    db.execute(
+        "CREATE TABLE V (id INTEGER PRIMARY KEY, name VARCHAR NOT NULL, "
+        "score FLOAT, active BOOLEAN, joined TIMESTAMP)"
+    )
+    db.execute(
+        "CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER, "
+        "w FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO V VALUES (1, 'ann', 2.5, TRUE, '2020-01-01'), "
+        "(2, 'bob', NULL, FALSE, '2021-06-15'), (3, 'cid', 1.0, TRUE, NULL)"
+    )
+    db.execute("INSERT INTO E VALUES (10, 1, 2, 1.5), (11, 2, 3, 2.5)")
+    db.execute("CREATE INDEX v_name ON V (name)")
+    db.create_ordered_index("v_score", "V", ["score"])
+    db.execute("CREATE VIEW actives AS SELECT id, name FROM V WHERE active = TRUE")
+    db.execute(
+        "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id, name = name) FROM V "
+        "EDGES(ID = id, FROM = s, TO = d, w = w) FROM E"
+    )
+    db.execute("CREATE TABLE bio (vid INTEGER PRIMARY KEY, species VARCHAR)")
+    db.execute("INSERT INTO bio VALUES (1, 'cat')")
+    db.execute(
+        "ALTER GRAPH VIEW g ADD VERTEXES(ID = vid, species = species) FROM bio"
+    )
+    return db
+
+
+class TestRoundTrip:
+    def test_tables_and_rows_survive(self, tmp_path):
+        original = build_database()
+        path = tmp_path / "snap.json"
+        original.save_snapshot(str(path))
+        restored = Database.load_snapshot(str(path))
+        query = "SELECT * FROM V ORDER BY id"
+        assert restored.execute(query).rows == original.execute(query).rows
+        assert restored.execute("SELECT COUNT(*) FROM E").scalar() == 2
+
+    def test_schema_constraints_survive(self, tmp_path):
+        original = build_database()
+        path = tmp_path / "snap.json"
+        original.save_snapshot(str(path))
+        restored = Database.load_snapshot(str(path))
+        with pytest.raises(Exception):
+            restored.execute("INSERT INTO V VALUES (1, 'dup', 0, TRUE, NULL)")
+        with pytest.raises(Exception):
+            restored.execute(
+                "INSERT INTO V (id) VALUES (99)"
+            )  # name is NOT NULL
+
+    def test_indexes_survive_and_are_used(self, tmp_path):
+        original = build_database()
+        path = tmp_path / "snap.json"
+        original.save_snapshot(str(path))
+        restored = Database.load_snapshot(str(path))
+        plan = restored.explain("SELECT id FROM V v WHERE v.name = 'ann'")
+        assert "IndexLookup(V.v_name)" in plan
+        table = restored.table("V")
+        assert "v_score" in table.indexes
+
+    def test_views_rederive_and_stay_maintained(self, tmp_path):
+        original = build_database()
+        path = tmp_path / "snap.json"
+        original.save_snapshot(str(path))
+        restored = Database.load_snapshot(str(path))
+        assert sorted(
+            restored.execute("SELECT name FROM actives").column(0)
+        ) == ["ann", "cid"]
+        restored.execute("INSERT INTO V VALUES (4, 'dee', 0.5, TRUE, NULL)")
+        assert "dee" in restored.execute("SELECT name FROM actives").column(0)
+
+    def test_graph_views_rebuild_with_maintenance(self, tmp_path):
+        original = build_database()
+        path = tmp_path / "snap.json"
+        original.save_snapshot(str(path))
+        restored = Database.load_snapshot(str(path))
+        view = restored.graph_view("g")
+        assert view.topology.vertex_count == 3
+        assert view.topology.edge_count == 2
+        result = restored.execute(
+            "SELECT PS.PathString FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 3 LIMIT 1"
+        )
+        assert result.rows == [("1->2->3",)]
+        restored.execute("INSERT INTO V VALUES (4, 'dee', 0.5, TRUE, NULL)")
+        assert view.topology.has_vertex(4)
+
+    def test_vertical_partition_survives(self, tmp_path):
+        original = build_database()
+        path = tmp_path / "snap.json"
+        original.save_snapshot(str(path))
+        restored = Database.load_snapshot(str(path))
+        assert restored.execute(
+            "SELECT VS.species FROM g.Vertexes VS WHERE VS.Id = 1"
+        ).scalar() == "cat"
+        assert restored.execute(
+            "SELECT VS.species FROM g.Vertexes VS WHERE VS.Id = 2"
+        ).scalar() is None
+
+    def test_double_round_trip_is_stable(self, tmp_path):
+        original = build_database()
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        original.save_snapshot(str(first))
+        middle = Database.load_snapshot(str(first))
+        middle.save_snapshot(str(second))
+        assert snapshot_to_dict(middle) == snapshot_to_dict(
+            Database.load_snapshot(str(second))
+        )
+
+
+class TestDocumentShape:
+    def test_view_backing_tables_not_duplicated(self):
+        document = snapshot_to_dict(build_database())
+        table_names = {t["name"] for t in document["tables"]}
+        assert "actives" not in table_names
+        assert {"V", "E", "bio"} <= table_names
+
+    def test_version_field(self):
+        assert snapshot_to_dict(Database())["version"] == 1
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ExecutionError):
+            restore_into({"version": 99}, Database())
+
+    def test_empty_database_round_trip(self, tmp_path):
+        path = tmp_path / "empty.json"
+        Database().save_snapshot(str(path))
+        restored = Database.load_snapshot(str(path))
+        assert restored.catalog.tables() == []

@@ -1,0 +1,156 @@
+"""Miscellaneous SQL behaviours: ORDER BY ordinals, graph-view aliasing,
+DISTINCT over graph values, and other cross-cutting cases."""
+
+import pytest
+
+from repro import Database, PlanningError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a INTEGER, b VARCHAR)")
+    database.execute(
+        "INSERT INTO t VALUES (2, 'x'), (1, 'y'), (3, 'z'), (1, 'x')"
+    )
+    return database
+
+
+@pytest.fixture
+def graph_db():
+    database = Database()
+    database.execute("CREATE TABLE V (id INTEGER PRIMARY KEY, n VARCHAR)")
+    database.execute(
+        "CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER)"
+    )
+    database.execute("INSERT INTO V VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+    database.execute("INSERT INTO E VALUES (10, 1, 2), (11, 2, 3), (12, 1, 3)")
+    database.execute(
+        "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id, n = n) FROM V "
+        "EDGES(ID = id, FROM = s, TO = d) FROM E"
+    )
+    return database
+
+
+class TestOrderByOrdinals:
+    def test_basic_ordinal(self, db):
+        rows = db.execute("SELECT a, b FROM t ORDER BY 1, 2").rows
+        assert rows == [(1, "x"), (1, "y"), (2, "x"), (3, "z")]
+
+    def test_ordinal_desc(self, db):
+        rows = db.execute("SELECT a FROM t ORDER BY 1 DESC").column(0)
+        assert rows == [3, 2, 1, 1]
+
+    def test_ordinal_of_expression(self, db):
+        rows = db.execute("SELECT a * -1 FROM t ORDER BY 1").column(0)
+        assert rows == [-3, -2, -1, -1]
+
+    def test_out_of_range_rejected(self, db):
+        with pytest.raises(PlanningError, match="out of range"):
+            db.execute("SELECT a FROM t ORDER BY 2")
+        with pytest.raises(PlanningError, match="out of range"):
+            db.execute("SELECT a FROM t ORDER BY 0")
+
+    def test_ordinal_with_group_by(self, db):
+        rows = db.execute(
+            "SELECT b, COUNT(*) FROM t GROUP BY b ORDER BY 2 DESC, 1"
+        ).rows
+        assert rows == [("x", 2), ("y", 1), ("z", 1)]
+
+
+class TestGraphViewAliasing:
+    def test_same_view_two_aliases(self, graph_db):
+        """Section 5.3: aliases get independent scans of the singleton."""
+        result = graph_db.execute(
+            "SELECT A.Id, B.Id FROM g.Vertexes A, g.Vertexes B "
+            "WHERE A.Id < B.Id"
+        )
+        assert len(result) == 3
+
+    def test_edges_joined_with_vertexes(self, graph_db):
+        result = graph_db.execute(
+            "SELECT VS.n, ES.Id FROM g.Vertexes VS, g.Edges ES "
+            "WHERE ES.From = VS.Id ORDER BY ES.Id"
+        )
+        assert result.rows == [("a", 10), ("b", 11), ("a", 12)]
+
+    def test_distinct_end_vertices(self, graph_db):
+        result = graph_db.execute(
+            "SELECT DISTINCT PS.EndVertexId FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = 1 AND PS.Length <= 2"
+        )
+        assert sorted(result.column(0)) == [2, 3]
+
+    def test_whole_path_selected(self, graph_db):
+        """Listing 6 selects PS itself: the row carries the Path object."""
+        from repro.graph import Path
+
+        result = graph_db.execute(
+            "SELECT PS FROM g.Paths PS WHERE PS.StartVertex.Id = 1 "
+            "AND PS.Length = 1"
+        )
+        assert len(result) == 2
+        assert all(isinstance(row[0], Path) for row in result.rows)
+
+    def test_count_distinct_paths(self, graph_db):
+        result = graph_db.execute(
+            "SELECT COUNT(DISTINCT PS) FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = 1 AND PS.Length <= 2"
+        )
+        assert result.scalar() == 3  # 1->2, 1->3, 1->2->3
+
+
+class TestPreparedWithConstraints:
+    def test_prepared_constrained_reachability(self, graph_db):
+        query = graph_db.prepare(
+            "SELECT PS.PathString FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = ? AND PS.EndVertex.Id = ? "
+            "AND PS.Length <= ? LIMIT 1"
+        )
+        # Length <= ? is a residual (parameterized), bounded by cap
+        graph_db.planner_options = graph_db.planner_options.copy(
+            default_max_path_length=4
+        )
+        query = graph_db.prepare(
+            "SELECT PS.PathString FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = ? AND PS.EndVertex.Id = ? "
+            "AND PS.Length <= ? LIMIT 1"
+        )
+        assert query.execute(1, 3, 1).rows == [("1->3",)]
+        assert query.execute(1, 3, 2).rows  # some path of length <= 2
+
+    def test_prepared_rebinding_edge_filter(self, graph_db):
+        query = graph_db.prepare(
+            "SELECT COUNT(*) FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = 1 AND PS.Length = 1 "
+            "AND PS.Edges[0..*].Id >= ?"
+        )
+        assert query.execute(0).scalar() == 2
+        assert query.execute(11).scalar() == 1
+        assert query.execute(99).scalar() == 0
+
+
+class TestTimestampsInQueries:
+    def test_timestamp_ordering_and_rendering(self):
+        db = Database()
+        db.execute("CREATE TABLE ev (id INTEGER PRIMARY KEY, at TIMESTAMP)")
+        db.execute(
+            "INSERT INTO ev VALUES (1, '2020-06-01'), (2, '2019-01-01'), "
+            "(3, '2021-12-31 23:59:59')"
+        )
+        rows = db.execute("SELECT id FROM ev ORDER BY at").column(0)
+        assert rows == [2, 1, 3]
+        count = db.execute(
+            "SELECT COUNT(*) FROM ev WHERE at > '2020-01-01'"
+        ).scalar()
+        assert count == 2
+
+    def test_timestamp_round_trip_string(self):
+        from repro.types import timestamp_from_string, timestamp_to_string
+
+        db = Database()
+        db.execute("CREATE TABLE ev (at TIMESTAMP)")
+        db.execute("INSERT INTO ev VALUES ('2020-06-01 12:00:00')")
+        stored = db.execute("SELECT at FROM ev").scalar()
+        assert timestamp_to_string(stored) == "2020-06-01 12:00:00"
+        assert stored == timestamp_from_string("2020-06-01 12:00:00")

@@ -1,0 +1,173 @@
+"""Unit tests for the graph topology structure."""
+
+import pytest
+
+from repro.errors import GraphViewError, IntegrityError
+from repro.graph import GraphTopology
+
+
+def diamond(directed=True):
+    """1 -> 2 -> 4 and 1 -> 3 -> 4."""
+    topology = GraphTopology(directed)
+    for vertex_id in (1, 2, 3, 4):
+        topology.add_vertex(vertex_id)
+    topology.add_edge("a", 1, 2)
+    topology.add_edge("b", 1, 3)
+    topology.add_edge("c", 2, 4)
+    topology.add_edge("d", 3, 4)
+    return topology
+
+
+class TestConstruction:
+    def test_counts(self):
+        topology = diamond()
+        assert topology.vertex_count == 4
+        assert topology.edge_count == 4
+
+    def test_fan_out_fan_in_directed(self):
+        topology = diamond()
+        assert topology.vertex(1).fan_out == 2
+        assert topology.vertex(1).fan_in == 0
+        assert topology.vertex(4).fan_in == 2
+        assert topology.vertex(4).fan_out == 0
+
+    def test_fan_out_undirected_counts_both_directions(self):
+        topology = diamond(directed=False)
+        assert topology.vertex(1).fan_out == 2
+        assert topology.vertex(4).fan_out == 2
+        assert topology.vertex(2).fan_out == 2
+
+    def test_duplicate_vertex_rejected(self):
+        topology = diamond()
+        with pytest.raises(GraphViewError):
+            topology.add_vertex(1)
+
+    def test_duplicate_edge_rejected(self):
+        topology = diamond()
+        with pytest.raises(GraphViewError):
+            topology.add_edge("a", 2, 3)
+
+    def test_edge_to_missing_vertex_rejected(self):
+        topology = diamond()
+        with pytest.raises(IntegrityError):
+            topology.add_edge("z", 1, 99)
+
+    def test_null_identifiers_rejected(self):
+        topology = GraphTopology()
+        with pytest.raises(GraphViewError):
+            topology.add_vertex(None)
+        topology.add_vertex(1)
+        with pytest.raises(GraphViewError):
+            topology.add_edge(None, 1, 1)
+
+
+class TestAdjacency:
+    def test_out_edges_directed(self):
+        topology = diamond()
+        targets = {e.to_id for e in topology.out_edges_of(1)}
+        assert targets == {2, 3}
+
+    def test_in_edges_directed(self):
+        topology = diamond()
+        sources = {e.from_id for e in topology.in_edges_of(4)}
+        assert sources == {2, 3}
+
+    def test_undirected_other_endpoint(self):
+        topology = diamond(directed=False)
+        neighbors = {
+            e.other_endpoint(4) for e in topology.out_edges_of(4)
+        }
+        assert neighbors == {2, 3}
+
+    def test_self_loop(self):
+        topology = GraphTopology(directed=False)
+        topology.add_vertex(1)
+        topology.add_edge("loop", 1, 1)
+        # a self loop in an undirected graph is registered once per side
+        assert topology.vertex(1).fan_out == 1
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        topology = diamond()
+        topology.remove_edge("a")
+        assert not topology.has_edge("a")
+        assert topology.vertex(1).fan_out == 1
+        assert topology.vertex(2).fan_in == 0
+
+    def test_remove_missing_edge_raises(self):
+        with pytest.raises(GraphViewError):
+            diamond().remove_edge("nope")
+
+    def test_remove_vertex_with_edges_refused(self):
+        topology = diamond()
+        with pytest.raises(IntegrityError):
+            topology.remove_vertex(1)
+
+    def test_remove_vertex_cascade(self):
+        topology = diamond()
+        topology.remove_vertex(1, cascade=True)
+        assert not topology.has_vertex(1)
+        assert not topology.has_edge("a")
+        assert not topology.has_edge("b")
+        assert topology.edge_count == 2
+
+    def test_remove_isolated_vertex(self):
+        topology = GraphTopology()
+        topology.add_vertex(1)
+        topology.remove_vertex(1)
+        assert topology.vertex_count == 0
+
+    def test_remove_edge_undirected_cleans_both_sides(self):
+        topology = diamond(directed=False)
+        topology.remove_edge("a")
+        assert topology.vertex(2).fan_out == 1
+        assert topology.vertex(1).fan_out == 1
+
+
+class TestRenames:
+    def test_rename_vertex_rewrites_edges(self):
+        topology = diamond()
+        topology.rename_vertex(1, 100)
+        assert topology.has_vertex(100)
+        assert not topology.has_vertex(1)
+        assert topology.edge("a").from_id == 100
+        assert {e.to_id for e in topology.out_edges_of(100)} == {2, 3}
+
+    def test_rename_vertex_to_existing_rejected(self):
+        topology = diamond()
+        with pytest.raises(GraphViewError):
+            topology.rename_vertex(1, 2)
+
+    def test_rename_edge(self):
+        topology = diamond()
+        topology.rename_edge("a", "a2")
+        assert topology.has_edge("a2")
+        assert not topology.has_edge("a")
+        assert "a2" in topology.vertex(1).out_edges
+        assert "a" not in topology.vertex(1).out_edges
+
+    def test_rename_edge_to_existing_rejected(self):
+        topology = diamond()
+        with pytest.raises(GraphViewError):
+            topology.rename_edge("a", "b")
+
+
+class TestStatistics:
+    def test_average_fan_out(self):
+        topology = diamond()
+        assert topology.average_fan_out() == pytest.approx(1.0)
+
+    def test_average_fan_out_empty_graph(self):
+        assert GraphTopology().average_fan_out() == 0.0
+
+    def test_degree_histogram(self):
+        histogram = diamond().degree_histogram()
+        assert histogram == {2: 1, 1: 2, 0: 1}
+
+    def test_memory_estimate_grows_with_graph(self):
+        small = diamond().memory_estimate_bytes()
+        larger = diamond()
+        larger.add_vertex(5)
+        larger.add_edge("e", 4, 5)
+        assert larger.memory_estimate_bytes() > small

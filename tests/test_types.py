@@ -1,0 +1,133 @@
+"""Unit tests for the SQL type system and coercion rules."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.types import (
+    SqlType,
+    coerce,
+    timestamp_from_string,
+    timestamp_to_string,
+)
+
+
+class TestSqlTypeFromName:
+    def test_canonical_names(self):
+        assert SqlType.from_name("INTEGER") is SqlType.INTEGER
+        assert SqlType.from_name("VARCHAR") is SqlType.VARCHAR
+        assert SqlType.from_name("FLOAT") is SqlType.FLOAT
+        assert SqlType.from_name("BOOLEAN") is SqlType.BOOLEAN
+        assert SqlType.from_name("TIMESTAMP") is SqlType.TIMESTAMP
+
+    def test_case_insensitive(self):
+        assert SqlType.from_name("integer") is SqlType.INTEGER
+        assert SqlType.from_name("VarChar") is SqlType.VARCHAR
+
+    def test_aliases(self):
+        assert SqlType.from_name("INT") is SqlType.INTEGER
+        assert SqlType.from_name("DOUBLE") is SqlType.FLOAT
+        assert SqlType.from_name("REAL") is SqlType.FLOAT
+        assert SqlType.from_name("TEXT") is SqlType.VARCHAR
+        assert SqlType.from_name("STRING") is SqlType.VARCHAR
+        assert SqlType.from_name("BOOL") is SqlType.BOOLEAN
+        assert SqlType.from_name("DATE") is SqlType.TIMESTAMP
+        assert SqlType.from_name("BIGINT") is SqlType.BIGINT
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            SqlType.from_name("BLOB9000")
+
+    def test_is_numeric(self):
+        assert SqlType.INTEGER.is_numeric
+        assert SqlType.FLOAT.is_numeric
+        assert SqlType.DECIMAL.is_numeric
+        assert not SqlType.VARCHAR.is_numeric
+        assert not SqlType.BOOLEAN.is_numeric
+
+
+class TestCoerce:
+    def test_null_passes_through(self):
+        for sql_type in SqlType:
+            assert coerce(None, sql_type) is None
+
+    def test_integer_from_int(self):
+        assert coerce(42, SqlType.INTEGER) == 42
+
+    def test_integer_from_integral_float(self):
+        assert coerce(42.0, SqlType.INTEGER) == 42
+
+    def test_integer_from_fractional_float_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(42.5, SqlType.INTEGER)
+
+    def test_integer_from_numeric_string(self):
+        assert coerce("17", SqlType.INTEGER) == 17
+
+    def test_integer_from_garbage_string_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("hello", SqlType.INTEGER)
+
+    def test_float_widening(self):
+        value = coerce(3, SqlType.FLOAT)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_from_string(self):
+        assert coerce("2.5", SqlType.FLOAT) == 2.5
+
+    def test_varchar_from_string(self):
+        assert coerce("abc", SqlType.VARCHAR) == "abc"
+
+    def test_varchar_from_number(self):
+        assert coerce(12, SqlType.VARCHAR) == "12"
+
+    def test_boolean_values(self):
+        assert coerce(True, SqlType.BOOLEAN) is True
+        assert coerce(0, SqlType.BOOLEAN) is False
+        assert coerce("true", SqlType.BOOLEAN) is True
+        assert coerce("FALSE", SqlType.BOOLEAN) is False
+
+    def test_boolean_from_other_int_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(7, SqlType.BOOLEAN)
+
+    def test_timestamp_from_iso_string(self):
+        micros = coerce("2000-01-01", SqlType.TIMESTAMP)
+        assert micros == timestamp_from_string("2000-01-01")
+
+    def test_timestamp_from_us_style(self):
+        # the paper's Listing 2 uses '1/1/2000'
+        assert coerce("1/1/2000", SqlType.TIMESTAMP) == timestamp_from_string(
+            "2000-01-01"
+        )
+
+    def test_timestamp_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(True, SqlType.TIMESTAMP)
+
+    def test_any_passes_everything(self):
+        marker = object()
+        assert coerce(marker, SqlType.ANY) is marker
+
+    def test_error_names_column(self):
+        with pytest.raises(TypeMismatchError, match="myCol"):
+            coerce("zzz", SqlType.INTEGER, "myCol")
+
+
+class TestTimestampStrings:
+    def test_round_trip(self):
+        micros = timestamp_from_string("2010-06-15 12:30:45")
+        assert timestamp_to_string(micros) == "2010-06-15 12:30:45"
+
+    def test_date_only_midnight(self):
+        micros = timestamp_from_string("2010-06-15")
+        assert timestamp_to_string(micros) == "2010-06-15 00:00:00"
+
+    def test_ordering_matches_chronology(self):
+        early = timestamp_from_string("1999-12-31")
+        late = timestamp_from_string("2000-01-01")
+        assert early < late
+
+    def test_bad_literal_raises(self):
+        with pytest.raises(TypeMismatchError):
+            timestamp_from_string("not a date")

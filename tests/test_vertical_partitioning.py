@@ -1,0 +1,215 @@
+"""Tests for vertical partitioning: multiple tuple pointers per element
+(the paper's Section-3.2 RDF/semistructured extension), exposed through
+``ALTER GRAPH VIEW ... ADD VERTEXES/EDGES (...) FROM table``."""
+
+import pytest
+
+from repro import Database, GraphViewError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE V (id INTEGER PRIMARY KEY, name VARCHAR)")
+    database.execute(
+        "CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER)"
+    )
+    database.execute("INSERT INTO V VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+    database.execute("INSERT INTO E VALUES (10, 1, 2), (11, 2, 3)")
+    database.execute(
+        "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id, name = name) FROM V "
+        "EDGES(ID = id, FROM = s, TO = d) FROM E"
+    )
+    # the vertical partition: only some vertices have biography data
+    database.execute(
+        "CREATE TABLE bio (vid INTEGER PRIMARY KEY, species VARCHAR, "
+        "mass FLOAT)"
+    )
+    database.execute("INSERT INTO bio VALUES (1, 'cat', 4.2), (3, 'dog', 11.0)")
+    return database
+
+
+def add_source(db):
+    db.execute(
+        "ALTER GRAPH VIEW g ADD VERTEXES(ID = vid, species = species, "
+        "mass = mass) FROM bio"
+    )
+
+
+class TestAlterParsing:
+    def test_parse_shape(self):
+        from repro.sql import ast, parse_statement
+
+        statement = parse_statement(
+            "ALTER GRAPH VIEW g ADD VERTEXES(ID = vid, x = c) FROM t"
+        )
+        assert isinstance(statement, ast.AlterGraphViewAddSource)
+        assert statement.element == "VERTEXES"
+        assert statement.source == "t"
+
+    def test_parse_edges_variant(self):
+        from repro.sql import ast, parse_statement
+
+        statement = parse_statement(
+            "ALTER GRAPH VIEW g ADD EDGES(ID = eid, y = c) FROM t"
+        )
+        assert statement.element == "EDGES"
+
+
+class TestAttributeResolution:
+    def test_extra_attribute_readable(self, db):
+        add_source(db)
+        result = db.execute(
+            "SELECT VS.name, VS.species FROM g.Vertexes VS WHERE VS.Id = 1"
+        )
+        assert result.rows == [("a", "cat")]
+
+    def test_missing_partition_row_reads_null(self, db):
+        add_source(db)
+        result = db.execute(
+            "SELECT VS.species FROM g.Vertexes VS WHERE VS.Id = 2"
+        )
+        assert result.rows == [(None,)]
+
+    def test_filter_on_extra_attribute(self, db):
+        add_source(db)
+        result = db.execute(
+            "SELECT VS.Id FROM g.Vertexes VS WHERE VS.mass > 5"
+        )
+        assert result.column(0) == [3]
+
+    def test_path_query_uses_extra_attribute(self, db):
+        add_source(db)
+        result = db.execute(
+            "SELECT PS.PathString FROM g.Paths PS "
+            "WHERE PS.StartVertex.species = 'cat' AND PS.Length = 1"
+        )
+        assert result.rows == [("1->2",)]
+
+    def test_star_projection_includes_extras(self, db):
+        add_source(db)
+        result = db.execute("SELECT * FROM g.Vertexes VS WHERE VS.Id = 1")
+        assert result.columns == [
+            "Id",
+            "name",
+            "species",
+            "mass",
+            "FanOut",
+            "FanIn",
+        ]
+
+    def test_primary_source_attributes_still_work(self, db):
+        add_source(db)
+        assert db.execute(
+            "SELECT VS.name FROM g.Vertexes VS WHERE VS.Id = 3"
+        ).scalar() == "c"
+
+
+class TestMaintenance:
+    def test_insert_into_partition_visible(self, db):
+        add_source(db)
+        db.execute("INSERT INTO bio VALUES (2, 'fox', 6.0)")
+        assert db.execute(
+            "SELECT VS.species FROM g.Vertexes VS WHERE VS.Id = 2"
+        ).scalar() == "fox"
+
+    def test_delete_from_partition_reads_null(self, db):
+        add_source(db)
+        db.execute("DELETE FROM bio WHERE vid = 1")
+        assert db.execute(
+            "SELECT VS.species FROM g.Vertexes VS WHERE VS.Id = 1"
+        ).scalar() is None
+
+    def test_update_partition_value(self, db):
+        add_source(db)
+        db.execute("UPDATE bio SET mass = 99.0 WHERE vid = 3")
+        assert db.execute(
+            "SELECT VS.mass FROM g.Vertexes VS WHERE VS.Id = 3"
+        ).scalar() == 99.0
+
+    def test_update_partition_id_moves_attributes(self, db):
+        add_source(db)
+        db.execute("UPDATE bio SET vid = 2 WHERE vid = 1")
+        assert db.execute(
+            "SELECT VS.species FROM g.Vertexes VS WHERE VS.Id = 2"
+        ).scalar() == "cat"
+        assert db.execute(
+            "SELECT VS.species FROM g.Vertexes VS WHERE VS.Id = 1"
+        ).scalar() is None
+
+    def test_rollback_restores_partition(self, db):
+        add_source(db)
+        db.begin()
+        db.execute("DELETE FROM bio WHERE vid = 1")
+        db.rollback()
+        assert db.execute(
+            "SELECT VS.species FROM g.Vertexes VS WHERE VS.Id = 1"
+        ).scalar() == "cat"
+
+
+class TestEdgePartitions:
+    def test_edge_extra_source(self, db):
+        db.execute(
+            "CREATE TABLE edge_meta (eid INTEGER PRIMARY KEY, "
+            "verified BOOLEAN)"
+        )
+        db.execute("INSERT INTO edge_meta VALUES (10, TRUE)")
+        db.execute(
+            "ALTER GRAPH VIEW g ADD EDGES(ID = eid, verified = verified) "
+            "FROM edge_meta"
+        )
+        result = db.execute(
+            "SELECT ES.Id, ES.verified FROM g.Edges ES ORDER BY ES.Id"
+        )
+        assert result.rows == [(10, True), (11, None)]
+
+    def test_edge_extra_in_path_filter(self, db):
+        db.execute(
+            "CREATE TABLE edge_meta (eid INTEGER PRIMARY KEY, "
+            "verified BOOLEAN)"
+        )
+        db.execute("INSERT INTO edge_meta VALUES (10, TRUE), (11, FALSE)")
+        db.execute(
+            "ALTER GRAPH VIEW g ADD EDGES(ID = eid, verified = verified) "
+            "FROM edge_meta"
+        )
+        result = db.execute(
+            "SELECT PS.PathString FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = 1 AND PS.Length <= 2 "
+            "AND PS.Edges[0..*].verified = TRUE"
+        )
+        assert result.column(0) == ["1->2"]
+
+
+class TestErrors:
+    def test_missing_id_mapping(self, db):
+        with pytest.raises(GraphViewError, match="ID"):
+            db.execute(
+                "ALTER GRAPH VIEW g ADD VERTEXES(species = species) FROM bio"
+            )
+
+    def test_no_attributes(self, db):
+        with pytest.raises(GraphViewError, match="no"):
+            db.execute("ALTER GRAPH VIEW g ADD VERTEXES(ID = vid) FROM bio")
+
+    def test_duplicate_attribute_rejected(self, db):
+        db.execute(
+            "CREATE TABLE dup (vid INTEGER PRIMARY KEY, name VARCHAR)"
+        )
+        with pytest.raises(GraphViewError, match="already exists"):
+            db.execute(
+                "ALTER GRAPH VIEW g ADD VERTEXES(ID = vid, name = name) "
+                "FROM dup"
+            )
+
+    def test_partition_table_protected_from_drop(self, db):
+        add_source(db)
+        with pytest.raises(Exception, match="relational source"):
+            db.execute("DROP TABLE bio")
+
+    def test_drop_graph_view_detaches_partition_listener(self, db):
+        add_source(db)
+        view = db.graph_view("g")
+        db.execute("DROP GRAPH VIEW g")
+        db.execute("INSERT INTO bio VALUES (2, 'owl', 1.0)")
+        assert 2 not in view.vertex_extra_sources[0].pointers

@@ -1,0 +1,180 @@
+"""Tests for materialized relational views, including their use as graph
+view sources (Section 3.1) and incremental maintenance (Section 3.3.2)."""
+
+import pytest
+
+from repro import Database, ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE people (id INTEGER PRIMARY KEY, name VARCHAR, "
+        "age INTEGER, city VARCHAR)"
+    )
+    rows = [
+        (1, "ann", 30, "nyc"),
+        (2, "bob", 17, "sf"),
+        (3, "cid", 45, "nyc"),
+        (4, "dee", 12, "la"),
+    ]
+    for row in rows:
+        database.execute(
+            f"INSERT INTO people VALUES ({row[0]}, '{row[1]}', {row[2]}, "
+            f"'{row[3]}')"
+        )
+    return database
+
+
+class TestBasicViews:
+    def test_view_contents(self, db):
+        db.execute(
+            "CREATE VIEW adults AS SELECT id, name FROM people WHERE age >= 18"
+        )
+        result = db.execute("SELECT name FROM adults ORDER BY name")
+        assert result.column("name") == ["ann", "cid"]
+
+    def test_view_columns_named_from_select(self, db):
+        db.execute(
+            "CREATE VIEW v AS SELECT name AS who, age * 2 doubled FROM people"
+        )
+        result = db.execute("SELECT who, doubled FROM v WHERE who = 'ann'")
+        assert result.first() == ("ann", 60)
+
+    def test_star_view(self, db):
+        db.execute("CREATE VIEW copy AS SELECT * FROM people")
+        assert db.execute("SELECT COUNT(*) FROM copy").scalar() == 4
+
+    def test_view_not_directly_writable(self, db):
+        db.execute("CREATE VIEW v AS SELECT id FROM people")
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO v VALUES (9)")
+
+    def test_drop_view(self, db):
+        db.execute("CREATE VIEW v AS SELECT id FROM people")
+        db.execute("DROP VIEW v")
+        with pytest.raises(Exception):
+            db.execute("SELECT * FROM v")
+
+
+class TestIncrementalMaintenance:
+    def make_view(self, db):
+        db.execute(
+            "CREATE VIEW adults AS SELECT id, name, city FROM people "
+            "WHERE age >= 18"
+        )
+
+    def test_insert_propagates(self, db):
+        self.make_view(db)
+        db.execute("INSERT INTO people VALUES (5, 'eve', 25, 'sf')")
+        assert "eve" in db.execute("SELECT name FROM adults").column("name")
+
+    def test_insert_not_matching_filtered(self, db):
+        self.make_view(db)
+        db.execute("INSERT INTO people VALUES (5, 'kid', 5, 'sf')")
+        assert "kid" not in db.execute("SELECT name FROM adults").column("name")
+
+    def test_delete_propagates(self, db):
+        self.make_view(db)
+        db.execute("DELETE FROM people WHERE id = 1")
+        assert "ann" not in db.execute("SELECT name FROM adults").column("name")
+
+    def test_update_moves_row_into_view(self, db):
+        self.make_view(db)
+        db.execute("UPDATE people SET age = 20 WHERE id = 2")
+        assert "bob" in db.execute("SELECT name FROM adults").column("name")
+
+    def test_update_moves_row_out_of_view(self, db):
+        self.make_view(db)
+        db.execute("UPDATE people SET age = 10 WHERE id = 1")
+        assert "ann" not in db.execute("SELECT name FROM adults").column("name")
+
+    def test_update_in_place(self, db):
+        self.make_view(db)
+        db.execute("UPDATE people SET city = 'berlin' WHERE id = 1")
+        result = db.execute("SELECT city FROM adults WHERE id = 1")
+        assert result.scalar() == "berlin"
+
+
+class TestFullRefreshViews:
+    def test_aggregate_view_refreshes(self, db):
+        db.execute(
+            "CREATE VIEW by_city AS SELECT city, COUNT(*) AS n FROM people "
+            "GROUP BY city"
+        )
+        before = dict(db.execute("SELECT city, n FROM by_city").rows)
+        assert before["nyc"] == 2
+        db.execute("INSERT INTO people VALUES (5, 'eve', 25, 'nyc')")
+        after = dict(db.execute("SELECT city, n FROM by_city").rows)
+        assert after["nyc"] == 3
+
+    def test_join_view_refreshes(self, db):
+        db.execute(
+            "CREATE TABLE cities (name VARCHAR PRIMARY KEY, state VARCHAR)"
+        )
+        db.execute("INSERT INTO cities VALUES ('nyc', 'NY'), ('sf', 'CA')")
+        db.execute(
+            "CREATE VIEW located AS SELECT p.name AS person, c.state "
+            "FROM people p, cities c WHERE p.city = c.name"
+        )
+        assert db.execute("SELECT COUNT(*) FROM located").scalar() == 3
+        db.execute("INSERT INTO people VALUES (5, 'eve', 25, 'sf')")
+        assert db.execute("SELECT COUNT(*) FROM located").scalar() == 4
+
+
+class TestViewsAsGraphSources:
+    def test_graph_view_over_relational_view(self, db):
+        """The paper allows graph sources to be materialized views."""
+        database = Database()
+        database.execute(
+            "CREATE TABLE rawV (id INTEGER PRIMARY KEY, kind VARCHAR)"
+        )
+        database.execute(
+            "CREATE TABLE rawE (id INTEGER PRIMARY KEY, s INTEGER, "
+            "d INTEGER, kind VARCHAR)"
+        )
+        database.execute(
+            "INSERT INTO rawV VALUES (1, 'good'), (2, 'good'), (3, 'good')"
+        )
+        database.execute(
+            "INSERT INTO rawE VALUES (10, 1, 2, 'good'), (11, 2, 3, 'good')"
+        )
+        database.execute(
+            "CREATE VIEW goodV AS SELECT id FROM rawV WHERE kind = 'good'"
+        )
+        database.execute(
+            "CREATE VIEW goodE AS SELECT id, s, d FROM rawE "
+            "WHERE kind = 'good'"
+        )
+        database.execute(
+            "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id) FROM goodV "
+            "EDGES(ID = id, FROM = s, TO = d) FROM goodE"
+        )
+        result = database.execute(
+            "SELECT PS.PathString FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 3 LIMIT 1"
+        )
+        assert result.rows == [("1->2->3",)]
+        # inserting a matching base row flows: view -> graph topology
+        database.execute("INSERT INTO rawV VALUES (4, 'good')")
+        assert database.graph_view("g").topology.has_vertex(4)
+
+    def test_non_matching_base_row_does_not_reach_graph(self):
+        database = Database()
+        database.execute(
+            "CREATE TABLE rawV (id INTEGER PRIMARY KEY, kind VARCHAR)"
+        )
+        database.execute(
+            "CREATE TABLE rawE (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER)"
+        )
+        database.execute("INSERT INTO rawV VALUES (1, 'good')")
+        database.execute(
+            "CREATE VIEW goodV AS SELECT id FROM rawV WHERE kind = 'good'"
+        )
+        database.execute(
+            "CREATE DIRECTED GRAPH VIEW g VERTEXES(ID = id) FROM goodV "
+            "EDGES(ID = id, FROM = s, TO = d) FROM rawE"
+        )
+        database.execute("INSERT INTO rawV VALUES (2, 'bad')")
+        assert not database.graph_view("g").topology.has_vertex(2)
