@@ -7,7 +7,6 @@ high-fan-out graph — reporting time and the *peak frontier size* the
 scans record, then checks the heuristic picks the memory-minimal one.
 """
 
-from repro import Database
 from repro.bench import format_table
 from repro.bench.harness import time_call
 from repro.datasets import load_into_grfusion, protein_network, road_network

@@ -66,7 +66,6 @@ def grfusion_triangle_count(db, view_name, selectivity) -> int:
 def test_fig10_triangle_counting(
     name, benchmark, datasets, grfusion, sqlgraph, graphdbs
 ):
-    dataset = datasets[name]
     db, view_name = grfusion[name]
     store = sqlgraph[name]
     sim = graphdbs[name]["neo4j_sim"]

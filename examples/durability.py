@@ -57,7 +57,7 @@ def main() -> None:
     print("== build, snapshot, attach command log ==")
     db = build_initial_database()
     db.save_snapshot(str(snapshot_path))
-    log = enable_command_log(db, str(log_path))
+    enable_command_log(db, str(log_path))
     print(f"  snapshot: {snapshot_path.name}")
     print(f"  command log: {log_path.name}")
 

@@ -14,7 +14,6 @@ surviving live updates.
 Run:  python examples/graph_analytics.py
 """
 
-from repro import Database
 from repro.datasets import follower_network, load_into_grfusion
 from repro.graph.algorithms import (
     average_clustering,

@@ -33,6 +33,7 @@ contribution), :mod:`repro.baselines` (SQLGraph / Grail / graph-DB
 comparators), :mod:`repro.datasets`, :mod:`repro.bench`.
 """
 
+from .budget import CancellationToken, QueryBudget
 from .core.database import Database, PreparedQuery
 from .core.result import ResultSet
 from .errors import (
@@ -43,6 +44,10 @@ from .errors import (
     GraphViewError,
     IntegrityError,
     PlanningError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    RecoveryError,
+    ResourceExhaustedError,
     SqlSyntaxError,
     TransactionError,
     TypeMismatchError,
@@ -57,12 +62,18 @@ __all__ = [
     "PreparedQuery",
     "ResultSet",
     "PlannerOptions",
+    "QueryBudget",
+    "CancellationToken",
     "SqlType",
     "DatabaseError",
     "SqlSyntaxError",
     "CatalogError",
     "PlanningError",
     "ExecutionError",
+    "ResourceExhaustedError",
+    "QueryTimeoutError",
+    "QueryCancelledError",
+    "RecoveryError",
     "TypeMismatchError",
     "ConstraintViolation",
     "IntegrityError",

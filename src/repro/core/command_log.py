@@ -10,7 +10,22 @@ reproduction:
   per line (newlines inside literals are escaped);
 * :func:`replay_log` re-executes a log against a database;
 * :meth:`Database.enable_command_log` wires a log into a database, and
-  recovery is ``Database.load_snapshot(snap) `` + ``replay_log(log)``.
+  recovery is ``Database.recover(snapshot=..., command_log=...)``.
+
+Each appended line carries a CRC32 checksum over its escaped payload
+(``crc32-hex TAB payload``), so recovery can distinguish a cleanly
+written statement from a line mangled by a crash mid-write or by disk
+corruption. Logs written before checksums existed (bare payload lines)
+are still replayed: a loggable statement starts with a SQL keyword, and
+no keyword's first eight characters are all hex digits, so legacy lines
+can never be mistaken for checksummed ones.
+
+A file that does not end in a newline lost its tail to a torn write.
+Recovery keeps the final line only if its checksum validates (the
+statement was complete; only the newline was lost), otherwise it drops
+the tail, truncates the file back to the last complete statement, and
+reports what was dropped — recovery always makes progress past a torn
+tail.
 
 Statements are logged *post-commit*, so a statement that failed (and was
 rolled back) never appears. Explicit transactions log their statements
@@ -25,25 +40,46 @@ original system.
 from __future__ import annotations
 
 import pathlib
-from typing import List, Optional
+import warnings
+import zlib
+from typing import List, Optional, Tuple
 
-from ..errors import ExecutionError
+from ..errors import RecoveryError
+from ..sql import ast
+from ..sql.parser import parse_statement
 from .database import Database
 
-_LOGGED_STATEMENTS = (
-    "CREATE",
-    "ALTER",
-    "DROP",
-    "INSERT",
-    "UPDATE",
-    "DELETE",
-    "TRUNCATE",
+#: Statement types that mutate durable state and therefore must be
+#: replayed on recovery. Matching on the parsed AST (rather than on a
+#: leading keyword) classifies statements with leading comments or
+#: unusual whitespace correctly.
+_LOGGED_STATEMENT_TYPES = (
+    ast.CreateTable,
+    ast.CreateIndex,
+    ast.CreateView,
+    ast.CreateGraphView,
+    ast.AlterGraphViewAddSource,
+    ast.Drop,
+    ast.Insert,
+    ast.Update,
+    ast.Delete,
+    ast.Truncate,
 )
+
+_ON_ERROR_POLICIES = ("abort", "skip", "stop")
 
 
 def _is_loggable(sql: str) -> bool:
-    stripped = sql.lstrip().upper()
-    return stripped.startswith(_LOGGED_STATEMENTS)
+    """True when ``sql`` parses to a statement that mutates state.
+
+    Statements that fail to parse are not loggable: they cannot have
+    executed successfully, so they can never reach the log.
+    """
+    try:
+        statement = parse_statement(sql)
+    except Exception:
+        return False
+    return isinstance(statement, _LOGGED_STATEMENT_TYPES)
 
 
 def _encode(sql: str) -> str:
@@ -70,6 +106,77 @@ def _decode(line: str) -> str:
     return "".join(out)
 
 
+def _checksum(payload: str) -> str:
+    return format(zlib.crc32(payload.encode("utf-8")), "08x")
+
+
+def _format_line(sql: str) -> str:
+    payload = _encode(sql)
+    return f"{_checksum(payload)}\t{payload}\n"
+
+
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+
+def _split_checksummed(line: str) -> Tuple[Optional[str], str]:
+    """Split a log line into ``(crc_hex, payload)``.
+
+    ``crc_hex`` is ``None`` for legacy (pre-checksum) lines. Safe
+    because every loggable SQL statement begins with a keyword whose
+    first eight characters include non-hex letters.
+    """
+    if (
+        len(line) > 8
+        and line[8] == "\t"
+        and all(ch in _HEX_DIGITS for ch in line[:8])
+    ):
+        return line[:8].lower(), line[9:]
+    return None, line
+
+
+class RecoveryReport:
+    """What :func:`replay_log` did, beyond the happy path.
+
+    Attached to the recovered database as ``db.recovery_report`` so
+    callers can inspect (and operators can log) exactly how recovery
+    went: how many statements replayed, which corrupt lines were
+    skipped, whether a torn tail was dropped, and where a ``"stop"``
+    policy halted.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.statements_replayed = 0
+        #: ``(line_number, reason)`` pairs for lines passed over under
+        #: the ``"skip"`` policy.
+        self.skipped: List[Tuple[int, str]] = []
+        #: Description of a dropped torn tail, or ``None``.
+        self.torn_tail: Optional[str] = None
+        #: Line number where the ``"stop"`` policy halted, or ``None``.
+        self.stopped_at_line: Optional[int] = None
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.skipped
+            and self.torn_tail is None
+            and self.stopped_at_line is None
+        )
+
+    def summary(self) -> str:
+        parts = [f"replayed {self.statements_replayed} statement(s)"]
+        if self.torn_tail is not None:
+            parts.append(f"dropped torn tail ({self.torn_tail})")
+        if self.skipped:
+            parts.append(f"skipped {len(self.skipped)} line(s)")
+        if self.stopped_at_line is not None:
+            parts.append(f"stopped at line {self.stopped_at_line}")
+        return f"{self.path}: " + ", ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"RecoveryReport({self.summary()!r})"
+
+
 class CommandLog:
     """Append-only statement log attached to a database."""
 
@@ -92,10 +199,10 @@ class CommandLog:
             return
         with open(self.path, "a") as handle:
             for sql in statements:
-                handle.write(_encode(sql) + "\n")
+                handle.write(_format_line(sql))
 
-    def _execute(self, sql: str):
-        result = self._original_execute(sql)
+    def _execute(self, sql: str, budget=None):
+        result = self._original_execute(sql, budget=budget)
         if _is_loggable(sql):
             if self.database.transactions.in_transaction:
                 self._pending.append(sql)
@@ -128,24 +235,104 @@ def enable_command_log(database: Database, path: str) -> CommandLog:
     return CommandLog(database, path)
 
 
+def _read_log_lines(log_path: pathlib.Path, report: RecoveryReport):
+    """Yield ``(line_number, line)`` for the complete lines of a log.
+
+    Detects a torn tail (file not ending in a newline): the final
+    partial line is kept only when it carries a valid checksum (the
+    statement was written in full; only the newline was torn off).
+    Otherwise the tail is dropped, the file is truncated back to the
+    last complete statement, and the drop is recorded on ``report``
+    and warned about — recovery continues either way.
+    """
+    raw = log_path.read_text()
+    if not raw:
+        return
+    torn = not raw.endswith("\n")
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    last_number = len(lines)
+    for line_number, line in enumerate(lines, start=1):
+        if torn and line_number == last_number:
+            crc_hex, payload = _split_checksummed(line)
+            if crc_hex is not None and crc_hex == _checksum(payload):
+                yield line_number, line  # complete; only the \n was lost
+                continue
+            report.torn_tail = (
+                f"line {line_number}: {len(line)} byte(s) after a torn write"
+            )
+            kept = lines[:-1]
+            log_path.write_text("\n".join(kept) + "\n" if kept else "")
+            warnings.warn(
+                f"{log_path}: dropped torn tail at line {line_number} "
+                f"({len(line)} byte(s)); log truncated to last complete "
+                "statement",
+                stacklevel=3,
+            )
+            return
+        yield line_number, line
+
+
 def replay_log(
-    path: str, database: Optional[Database] = None
+    path: str,
+    database: Optional[Database] = None,
+    on_error: str = "abort",
 ) -> Database:
-    """Re-execute a command log against ``database`` (new by default)."""
+    """Re-execute a command log against ``database`` (new by default).
+
+    ``on_error`` selects the policy for corrupt lines (checksum
+    mismatch) and statements that fail to re-execute:
+
+    * ``"abort"`` (default) — raise :class:`~repro.errors.RecoveryError`
+      identifying the file and line;
+    * ``"skip"`` — record the bad line in the report and keep replaying;
+    * ``"stop"`` — keep everything replayed so far and halt at the bad
+      line (the report records where).
+
+    A torn final line (crash mid-append) is handled before the policy
+    applies: it is dropped and reported, never fatal. The resulting
+    database carries the :class:`RecoveryReport` in
+    ``db.recovery_report``.
+    """
+    if on_error not in _ON_ERROR_POLICIES:
+        raise ValueError(
+            f"on_error must be one of {_ON_ERROR_POLICIES}, got {on_error!r}"
+        )
     db = database or Database()
     log_path = pathlib.Path(path)
     if not log_path.exists():
-        raise ExecutionError(f"no command log at {path}")
-    with open(log_path) as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.rstrip("\n")
-            if not line:
-                continue
-            sql = _decode(line)
-            try:
-                db.execute(sql)
-            except Exception as error:
-                raise ExecutionError(
+        raise RecoveryError(f"no command log at {path}")
+    report = RecoveryReport(str(path))
+    db.recovery_report = report
+    for line_number, line in _read_log_lines(log_path, report):
+        if not line:
+            continue
+        crc_hex, payload = _split_checksummed(line)
+        if crc_hex is not None and crc_hex != _checksum(payload):
+            error: Exception = RecoveryError(
+                f"{path}:{line_number}: replay failed: checksum mismatch "
+                f"(expected {crc_hex}, computed {_checksum(payload)})"
+            )
+            if on_error == "abort":
+                raise error
+            if on_error == "stop":
+                report.stopped_at_line = line_number
+                return db
+            report.skipped.append((line_number, "checksum mismatch"))
+            continue
+        sql = _decode(payload)
+        try:
+            db.execute(sql)
+        except Exception as error:
+            if on_error == "abort":
+                raise RecoveryError(
                     f"{path}:{line_number}: replay failed: {error}"
                 ) from error
+            if on_error == "stop":
+                report.stopped_at_line = line_number
+                return db
+            report.skipped.append((line_number, str(error)))
+            continue
+        report.statements_replayed += 1
     return db

@@ -25,9 +25,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import budget as budget_module
+from ..budget import CancellationToken, QueryBudget
 from ..errors import (
     CatalogError,
-    DatabaseError,
     ExecutionError,
     PlanningError,
 )
@@ -48,26 +49,87 @@ from .result import ResultSet
 from .views import MaterializedView
 
 
+_STREAM_DONE = object()  # sentinel: stream() iterator exhausted
+
+
 class Database:
     """An in-memory relational database with native graph views."""
 
-    def __init__(self, planner_options: Optional[PlannerOptions] = None):
+    def __init__(
+        self,
+        planner_options: Optional[PlannerOptions] = None,
+        budget: Optional[QueryBudget] = None,
+    ):
         self.catalog = Catalog()
         self.transactions = TransactionManager()
         self.planner_options = planner_options or PlannerOptions()
+        self.budget = budget
+        self.recovery_report = None  # set by Database.recover / replay_log
         self._undo_listener = UndoListener(self.transactions)
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
 
-    def execute(self, sql: str) -> ResultSet:
-        """Parse and run one SQL statement."""
-        return self._execute_statement(parse_statement(sql))
+    def set_budget(self, budget: Optional[QueryBudget]) -> None:
+        """Install (or clear, with ``None``) the database-level budget.
 
-    def execute_script(self, sql: str) -> List[ResultSet]:
-        """Run a ``;``-separated sequence of statements."""
-        return [self._execute_statement(s) for s in parse_script(sql)]
+        Every subsequent statement runs under the tightest combination
+        of this budget, the planner-options budget, and any
+        per-statement budget passed to :meth:`execute`.
+        """
+        self.budget = budget
+
+    def _effective_budget(
+        self, statement_budget: Optional[QueryBudget]
+    ) -> Optional[QueryBudget]:
+        return QueryBudget.tightest(
+            self.planner_options.budget, self.budget, statement_budget
+        )
+
+    def _start_token(
+        self, statement_budget: Optional[QueryBudget]
+    ) -> Optional[CancellationToken]:
+        effective = self._effective_budget(statement_budget)
+        if effective is None or effective.is_unlimited():
+            return None
+        return effective.start()
+
+    def execute(
+        self, sql: str, budget: Optional[QueryBudget] = None
+    ) -> ResultSet:
+        """Parse and run one SQL statement.
+
+        ``budget`` adds per-statement resource limits on top of any
+        database-level or planner-level budget (tightest knob wins); an
+        exhausted budget raises
+        :class:`~repro.errors.ResourceExhaustedError` and rolls the
+        implicit transaction back to a consistent state.
+        """
+        statement = parse_statement(sql)
+        token = self._start_token(budget)
+        if token is None:
+            return self._execute_statement(statement)
+        with budget_module.activate(token):
+            return self._execute_statement(statement, token)
+
+    def execute_script(
+        self, sql: str, budget: Optional[QueryBudget] = None
+    ) -> List[ResultSet]:
+        """Run a ``;``-separated sequence of statements.
+
+        The ``budget`` (if any) applies to each statement individually,
+        matching :meth:`execute` semantics.
+        """
+        results: List[ResultSet] = []
+        for statement in parse_script(sql):
+            token = self._start_token(budget)
+            if token is None:
+                results.append(self._execute_statement(statement))
+            else:
+                with budget_module.activate(token):
+                    results.append(self._execute_statement(statement, token))
+        return results
 
     def prepare(self, sql: str) -> "PreparedQuery":
         """Plan a parameterized SELECT once; execute it many times.
@@ -89,19 +151,36 @@ class Database:
             raise PlanningError("only SELECT statements can be prepared")
         return PreparedQuery(self, statement)
 
-    def stream(self, sql: str):
+    def stream(self, sql: str, budget: Optional[QueryBudget] = None):
         """Execute a SELECT and yield result rows lazily.
 
         Unlike :meth:`execute`, nothing is materialized: rows are pulled
         through the operator pipeline on demand, so a consumer that
         stops early (or a query over a huge path enumeration) only pays
         for what it reads. The row layout matches ``execute(...).rows``.
+
+        A ``budget`` (or database/planner-level budget) is enforced per
+        pull; note the wall-clock deadline covers the generator's whole
+        lifetime, including time the consumer spends suspended.
         """
         statement = parse_statement(sql)
         if not isinstance(statement, ast.Select):
             raise PlanningError("stream() only supports SELECT statements")
         planned = self._plan_select(statement)
-        for row in planned.operator:
+        token = self._start_token(budget)
+        if token is None:
+            for row in planned.operator:
+                yield tuple(row)
+            return
+        iterator = iter(planned.operator)
+        while True:
+            # the ambient token is scoped to each pull, so interleaved
+            # statements (or other streams) govern themselves correctly
+            with budget_module.activate(token):
+                row = next(iterator, _STREAM_DONE)
+                if row is _STREAM_DONE:
+                    return
+                token.tick_rows()
             yield tuple(row)
 
     def explain(self, sql: str) -> str:
@@ -165,6 +244,33 @@ class Database:
 
         return load_snapshot(path, cls())
 
+    @classmethod
+    def recover(
+        cls,
+        snapshot: Optional[str] = None,
+        command_log: Optional[str] = None,
+        on_error: str = "abort",
+    ) -> "Database":
+        """Crash recovery façade: restore ``snapshot`` (if given), then
+        replay ``command_log`` (if given) under the ``on_error`` policy
+        (``"abort"`` | ``"skip"`` | ``"stop"``, see
+        :func:`~repro.core.command_log.replay_log`).
+
+        The resulting database carries a
+        :class:`~repro.core.command_log.RecoveryReport` in
+        ``db.recovery_report`` describing replayed statements, any
+        dropped torn tail, and skipped corrupt lines.
+        """
+        from .command_log import replay_log
+        from .snapshot import load_snapshot
+
+        database = cls()
+        if snapshot is not None:
+            load_snapshot(snapshot, database)
+        if command_log is not None:
+            replay_log(command_log, database, on_error=on_error)
+        return database
+
     def load_rows(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk-insert pre-built rows (bypasses SQL parsing, still fires
         all constraint / index / graph-view maintenance)."""
@@ -179,11 +285,15 @@ class Database:
     # statement dispatch
     # ------------------------------------------------------------------
 
-    def _execute_statement(self, statement: ast.Statement) -> ResultSet:
+    def _execute_statement(
+        self,
+        statement: ast.Statement,
+        token: Optional[CancellationToken] = None,
+    ) -> ResultSet:
         if isinstance(statement, ast.Select):
-            return self._plan_and_run_select(statement)
+            return self._plan_and_run_select(statement, token)
         if isinstance(statement, ast.SetOperation):
-            return self._execute_set_operation(statement)
+            return self._execute_set_operation(statement, token)
         if isinstance(statement, ast.CreateTable):
             return self._execute_create_table(statement)
         if isinstance(statement, ast.CreateIndex):
@@ -243,12 +353,29 @@ class Database:
             return None
         return self._make_planner()._materialize_subqueries(expression)
 
-    def _plan_and_run_select(self, select: ast.Select) -> ResultSet:
+    def _plan_and_run_select(
+        self,
+        select: ast.Select,
+        token: Optional[CancellationToken] = None,
+    ) -> ResultSet:
         planned = self._plan_select(select)
-        rows = [tuple(row) for row in planned.operator]
+        if token is None:
+            # subqueries and DML-embedded SELECTs land here: operators
+            # still observe the ambient token for time/traversal caps,
+            # but max_rows only governs the top-level result
+            rows = [tuple(row) for row in planned.operator]
+        else:
+            rows = []
+            for row in planned.operator:
+                token.tick_rows()
+                rows.append(tuple(row))
         return ResultSet(planned.column_names, rows)
 
-    def _execute_set_operation(self, statement: ast.SetOperation) -> ResultSet:
+    def _execute_set_operation(
+        self,
+        statement: ast.SetOperation,
+        token: Optional[CancellationToken] = None,
+    ) -> ResultSet:
         """``UNION [ALL]``: concatenation with optional deduplication.
         Column names come from the leftmost SELECT (SQL convention)."""
         left = self._execute_statement(statement.left)
@@ -267,6 +394,8 @@ class Database:
                     seen.add(row)
                     deduped.append(row)
             rows = deduped
+        if token is not None:
+            token.tick_rows(len(rows))
         return ResultSet(left.columns, rows)
 
     # ------------------------------------------------------------------
@@ -587,14 +716,24 @@ class Database:
         self, table: Table, alias: str, where: Optional[ast.Expression]
     ) -> List[int]:
         """Slots of the rows a WHERE clause selects (all when absent)."""
+        token = budget_module.current_token()
         if where is None:
-            return [slot for slot, _row in table.scan()]
+            slots = []
+            for slot, _row in table.scan():
+                if token is not None:
+                    token.tick()
+                slots.append(slot)
+            return slots
         where = self._materialize_subqueries(where)
         scope = Scope([RelationBinding(alias, 0, table.schema)])
         predicate = ExpressionCompiler(scope).compile(where)
-        return [
-            slot for slot, row in table.scan() if predicate.fn([row]) is True
-        ]
+        slots = []
+        for slot, row in table.scan():
+            if token is not None:
+                token.tick()
+            if predicate.fn([row]) is True:
+                slots.append(slot)
+        return slots
 
     def _execute_update(self, statement: ast.Update) -> ResultSet:
         table = self._resolve_writable_table(statement.table)
@@ -640,6 +779,7 @@ class PreparedQuery:
     """
 
     def __init__(self, database: Database, statement: ast.Select):
+        self._database = database
         self._statement = statement
         self._parameters = self._collect_parameters(statement)
         self._planned = database._plan_select(statement)
@@ -693,12 +833,22 @@ class PreparedQuery:
         for parameter, value in zip(self._parameters, values):
             parameter.value = value
 
-    def execute(self, *values: Any) -> ResultSet:
+    def execute(
+        self, *values: Any, budget: Optional[QueryBudget] = None
+    ) -> ResultSet:
         self._bind(values)
-        rows = [tuple(row) for row in self._planned.operator]
+        token = self._database._start_token(budget)
+        if token is None:
+            rows = [tuple(row) for row in self._planned.operator]
+        else:
+            with budget_module.activate(token):
+                rows = []
+                for row in self._planned.operator:
+                    token.tick_rows()
+                    rows.append(tuple(row))
         return ResultSet(self._planned.column_names, rows)
 
-    def stream(self, *values: Any):
+    def stream(self, *values: Any, budget: Optional[QueryBudget] = None):
         """Bind parameters and yield rows lazily (see Database.stream).
 
         The parameter bindings live on the shared plan, so do not
@@ -706,5 +856,16 @@ class PreparedQuery:
         bindings.
         """
         self._bind(values)
-        for row in self._planned.operator:
+        token = self._database._start_token(budget)
+        if token is None:
+            for row in self._planned.operator:
+                yield tuple(row)
+            return
+        iterator = iter(self._planned.operator)
+        while True:
+            with budget_module.activate(token):
+                row = next(iterator, _STREAM_DONE)
+                if row is _STREAM_DONE:
+                    return
+                token.tick_rows()
             yield tuple(row)

@@ -14,14 +14,22 @@ holding, in dependency order:
 
 All column values are JSON-representable by construction (the type
 system only stores int/float/str/bool/None).
+
+Snapshots carry a CRC32 ``checksum`` over the canonical JSON encoding
+of the rest of the document, verified on load — a truncated or
+bit-flipped snapshot fails fast with
+:class:`~repro.errors.RecoveryError` instead of restoring a silently
+wrong database. Snapshots written before checksums existed load
+unverified, for compatibility.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+import zlib
+from typing import Any, Dict, List, Optional
 
-from ..errors import ExecutionError
+from ..errors import RecoveryError
 from ..graph.graph_view import ExtraAttributeSource, GraphView
 from ..sql.render import render_select
 from ..storage.index import HashIndex, OrderedIndex
@@ -29,6 +37,54 @@ from ..storage.table import Table
 from .database import Database
 
 SNAPSHOT_VERSION = 1
+
+#: Keys every snapshot document must carry (``checksum`` is optional
+#: for snapshots written before integrity verification existed).
+_REQUIRED_KEYS = ("version", "tables", "indexes", "views", "graph_views")
+
+
+def _document_checksum(document: Dict[str, Any]) -> str:
+    """CRC32 (hex) over the canonical JSON of ``document`` sans checksum."""
+    payload = {k: v for k, v in document.items() if k != "checksum"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return format(zlib.crc32(canonical.encode("utf-8")), "08x")
+
+
+def verify_snapshot_document(
+    document: Any, source: Optional[str] = None
+) -> Dict[str, Any]:
+    """Validate a parsed snapshot document's shape and checksum.
+
+    Returns the document on success; raises
+    :class:`~repro.errors.RecoveryError` naming ``source`` (when given)
+    on a malformed document, a missing section, a version this engine
+    does not understand, or a checksum mismatch.
+    """
+    where = f"{source}: " if source else ""
+    if not isinstance(document, dict):
+        raise RecoveryError(
+            f"{where}snapshot is not a JSON object "
+            f"(got {type(document).__name__})"
+        )
+    if document.get("version") != SNAPSHOT_VERSION:
+        raise RecoveryError(
+            f"{where}unsupported snapshot version: {document.get('version')!r}"
+        )
+    missing = [key for key in _REQUIRED_KEYS if key not in document]
+    if missing:
+        raise RecoveryError(
+            f"{where}snapshot is missing section(s): {', '.join(missing)}"
+        )
+    stored = document.get("checksum")
+    if stored is not None:
+        computed = _document_checksum(document)
+        if stored != computed:
+            raise RecoveryError(
+                f"{where}snapshot checksum mismatch "
+                f"(stored {stored}, computed {computed}) — the file is "
+                "corrupt or was edited by hand"
+            )
+    return document
 
 
 def _table_ddl(table: Table) -> str:
@@ -136,13 +192,15 @@ def snapshot_to_dict(database: Database) -> Dict[str, Any]:
         for name in list(catalog._views)
     ]
     graph_views = [_mappings_of(view) for view in catalog.graph_views()]
-    return {
+    document = {
         "version": SNAPSHOT_VERSION,
         "tables": tables,
         "indexes": indexes,
         "views": views,
         "graph_views": graph_views,
     }
+    document["checksum"] = _document_checksum(document)
+    return document
 
 
 def save_snapshot(database: Database, path: str) -> None:
@@ -154,10 +212,7 @@ def save_snapshot(database: Database, path: str) -> None:
 
 def restore_into(document: Dict[str, Any], database: Database) -> Database:
     """Replay a snapshot document into a (fresh) database."""
-    if document.get("version") != SNAPSHOT_VERSION:
-        raise ExecutionError(
-            f"unsupported snapshot version: {document.get('version')!r}"
-        )
+    verify_snapshot_document(document)
     for entry in document["tables"]:
         database.execute(entry["ddl"])
         database.load_rows(entry["name"], entry["rows"])
@@ -193,7 +248,18 @@ def restore_into(document: Dict[str, Any], database: Database) -> Database:
 
 
 def load_snapshot(path: str, database: Database = None) -> Database:
-    """Restore a snapshot file into ``database`` (a new one by default)."""
-    with open(path) as handle:
-        document = json.load(handle)
+    """Restore a snapshot file into ``database`` (a new one by default).
+
+    Raises :class:`~repro.errors.RecoveryError` when the file is not
+    valid JSON, is structurally not a snapshot, has a version this
+    engine does not understand, or fails checksum verification.
+    """
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise RecoveryError(
+            f"{path}: snapshot is not valid JSON ({error})"
+        ) from error
+    verify_snapshot_document(document, source=str(path))
     return restore_into(document, database or Database())

@@ -39,6 +39,26 @@ class ExecutionError(DatabaseError):
     """Raised for runtime failures while executing a plan."""
 
 
+class ResourceExhaustedError(ExecutionError):
+    """Raised when a statement exceeds its :class:`~repro.budget.QueryBudget`.
+
+    Path enumeration over a cyclic graph is combinatorial (Section 4 of
+    the paper makes ``PATHS`` lazy for exactly this reason), so the
+    resource governor aborts a runaway query instead of letting it take
+    the whole engine down. The implicit transaction rolls back, leaving
+    tables, indexes and graph-view topology consistent.
+    """
+
+
+class QueryTimeoutError(ResourceExhaustedError):
+    """Raised when a statement exceeds its wall-clock budget."""
+
+
+class QueryCancelledError(ExecutionError):
+    """Raised when a cooperative cancellation token is cancelled
+    externally (e.g. an admission controller or a user interrupt)."""
+
+
 class TypeMismatchError(ExecutionError):
     """Raised when a value cannot be coerced to the declared column type."""
 
@@ -61,3 +81,14 @@ class TransactionError(DatabaseError):
 
 class GraphViewError(DatabaseError):
     """Raised for graph-view definition or maintenance problems."""
+
+
+class RecoveryError(ExecutionError):
+    """Raised when crash recovery (snapshot load / command-log replay)
+    detects corruption: a failed checksum, an unreadable snapshot
+    document, or a statement that cannot be replayed.
+
+    Subclasses :class:`ExecutionError` so existing recovery call sites
+    that caught execution failures keep working; the message always
+    names the file, position and nature of the damage.
+    """

@@ -11,13 +11,14 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Optional, Sequence
 
+from ..budget import current_token
 from ..expr.compile import CompiledExpression
 from .operators import Operator, Row
 
 
 def merge_rows(left: Row, right: Row) -> Row:
     """Coalesce two slot-disjoint combined rows into a fresh row."""
-    return [l if l is not None else r for l, r in zip(left, right)]
+    return [a if a is not None else b for a, b in zip(left, right)]
 
 
 class NestedLoopJoinOp(Operator):
@@ -43,9 +44,12 @@ class NestedLoopJoinOp(Operator):
     def __iter__(self) -> Iterator[Row]:
         inner_rows = list(self.right)
         predicate = self.predicate.fn if self.predicate is not None else None
+        token = current_token()
         for outer in self.left:
             matched = False
             for inner in inner_rows:
+                if token is not None:
+                    token.tick()  # joins multiply cardinality
                 merged = merge_rows(outer, inner)
                 if predicate is None or predicate(merged) is True:
                     matched = True
@@ -88,6 +92,7 @@ class HashJoinOp(Operator):
     def __iter__(self) -> Iterator[Row]:
         buckets: dict = {}
         right_fns = [k.fn for k in self.right_keys]
+        token = current_token()
         for inner in self.right:
             key = tuple(fn(inner) for fn in right_fns)
             if any(part is None for part in key):
@@ -100,6 +105,8 @@ class HashJoinOp(Operator):
             matched = False
             if not any(part is None for part in key):
                 for inner in buckets.get(key, ()):
+                    if token is not None:
+                        token.tick()
                     merged = merge_rows(outer, inner)
                     if residual is None or residual(merged) is True:
                         matched = True
@@ -138,8 +145,11 @@ class ProbeJoinOp(Operator):
 
     def __iter__(self) -> Iterator[Row]:
         residual = self.residual.fn if self.residual is not None else None
+        token = current_token()
         for outer in self.outer:
             for inner in self.inner_factory(outer):
+                if token is not None:
+                    token.tick()
                 merged = merge_rows(outer, inner)
                 if residual is None or residual(merged) is True:
                     yield merged

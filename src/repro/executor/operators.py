@@ -1,9 +1,17 @@
-"""Core relational operators: scans, filter, project, limit, distinct."""
+"""Core relational operators: scans, filter, project, limit, distinct.
+
+Every source operator (and each join, which can multiply cardinality)
+captures the ambient :class:`~repro.budget.CancellationToken` at
+iteration start and ticks it per row — the cooperative check points of
+the resource governor. Without a budget this costs one ``None`` check
+per row.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterator, List, Optional, Sequence
 
+from ..budget import current_token
 from ..expr.compile import CompiledExpression
 from ..storage.index import Index
 from ..storage.table import Table
@@ -47,7 +55,10 @@ class SeqScanOp(Operator):
 
     def __iter__(self) -> Iterator[Row]:
         slot, width = self.slot, self.width
+        token = current_token()
         for _slot_number, stored in self.table.scan():
+            if token is not None:
+                token.tick()
             row: Row = [None] * width
             row[slot] = stored
             yield row
@@ -124,12 +135,15 @@ class IndexRangeScanOp(Operator):
             self.high is not None and high is None
         ):
             return  # a bound evaluated to NULL: the predicate is UNKNOWN
+        token = current_token()
         for slot_number in self.index.range_scan(
             (low,) if low is not None else None,
             (high,) if high is not None else None,
             self.low_inclusive,
             self.high_inclusive,
         ):
+            if token is not None:
+                token.tick()
             row: Row = [None] * self.width
             row[self.slot] = self.table.row_at(slot_number)
             yield row
@@ -275,7 +289,10 @@ class DerivedTableOp(Operator):
 
     def __iter__(self) -> Iterator[Row]:
         slot, width = self.slot, self.width
+        token = current_token()
         for values in self.subplan:
+            if token is not None:
+                token.tick()
             row: Row = [None] * width
             row[slot] = tuple(values)
             yield row

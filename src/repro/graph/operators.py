@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
 
+from ..budget import current_token
 from ..errors import PlanningError
 from ..executor.operators import Operator, Row
 from .graph_view import GraphView
@@ -37,7 +38,10 @@ class VertexScanOp(Operator):
 
     def __iter__(self) -> Iterator[Row]:
         slot, width = self.slot, self.width
+        token = current_token()
         for vertex in self.view.iter_vertices():
+            if token is not None:
+                token.tick()
             row: Row = [None] * width
             row[slot] = vertex
             yield row
@@ -103,7 +107,10 @@ class EdgeScanOp(Operator):
 
     def __iter__(self) -> Iterator[Row]:
         slot, width = self.slot, self.width
+        token = current_token()
         for edge in self.view.iter_edges():
+            if token is not None:
+                token.tick()
             row: Row = [None] * width
             row[slot] = edge
             yield row

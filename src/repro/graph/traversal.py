@@ -28,6 +28,7 @@ import itertools
 import math
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from ..budget import current_token
 from ..errors import ExecutionError
 from .graph_view import GraphView
 from .path import Path
@@ -257,8 +258,13 @@ def dfs_paths(
             check_edges = False
     examined = 0
     peak = 0
+    # resource governor: budgets abort runaway enumerations (a cyclic
+    # graph with no length bound has a combinatorial path space)
+    token = current_token()
     try:
         for start in _start_vertices(view, start_ids):
+            if token is not None:
+                token.tick_vertex()
             if check_vertices and not spec.vertex_allowed(0, start):
                 continue
             start_id = start.id
@@ -285,6 +291,8 @@ def dfs_paths(
                     continue
                 edge = edges_map[edge_id]
                 examined += 1
+                if token is not None:
+                    token.tick_edge()
                 if single_edge_predicate is not None:
                     if not single_edge_predicate(edge):
                         continue
@@ -347,6 +355,8 @@ def dfs_paths(
                         )
                         if spec.emit_ok(candidate, new_sums):
                             stats.paths_emitted += 1
+                            if token is not None:
+                                token.tick_path()
                             yield candidate
                     continue
                 path_edges.append(edge)
@@ -354,12 +364,16 @@ def dfs_paths(
                 on_path.add(next_id)
                 sums_stack.append(new_sums)
                 depth += 1
+                if token is not None:
+                    token.tick_vertex()
                 if depth >= min_length and (
                     target is None or next_id == target
                 ):
                     candidate = Path(path_vertices, path_edges)
                     if spec.emit_ok(candidate, new_sums):
                         stats.paths_emitted += 1
+                        if token is not None:
+                            token.tick_path()
                         yield candidate
                 if max_length is None or depth < max_length:
                     iterators.append(iter(next_vertex.out_edges))
@@ -416,6 +430,7 @@ def _dfs_global(
     check_vertices = bool(spec.vertex_filters)
     min_length = spec.min_length
     visited: Set[Any] = set()
+    token = current_token()
     for start in _start_vertices(view, start_ids):
         if start.id in visited:
             continue
@@ -427,6 +442,8 @@ def _dfs_global(
         while stack:
             stats.note_frontier(len(stack))
             vertex, depth = stack.pop()
+            if token is not None:
+                token.tick_vertex()
             if depth >= min_length and depth > 0:
                 if target is None or vertex.id == target:
                     candidate = _reconstruct_path(
@@ -434,6 +451,8 @@ def _dfs_global(
                     )
                     if spec.emit_ok(candidate, ()):
                         stats.paths_emitted += 1
+                        if token is not None:
+                            token.tick_path()
                         yield candidate
                         if target is not None:
                             return
@@ -443,6 +462,8 @@ def _dfs_global(
             for edge_id in vertex.out_edges:
                 edge = edges_map[edge_id]
                 stats.edges_examined += 1
+                if token is not None:
+                    token.tick_edge()
                 if check_edges and not spec.edge_allowed(depth, edge):
                     continue
                 if directed:
@@ -492,12 +513,15 @@ def bfs_paths(
     )
     target_is_start = spec.target_is_start
     static_target = spec.target_vertex_id
+    token = current_token()
     for start in _start_vertices(view, start_ids):
         if spec.vertex_allowed(0, start):
             queue.append(((start,), (), (0.0,) * n_bounds, True))
     while queue:
         stats.note_frontier(len(queue))
         vertices, edges, sums, non_negative = queue.popleft()
+        if token is not None:
+            token.tick_vertex()
         target = vertices[0].id if target_is_start else static_target
         if (
             edges
@@ -507,6 +531,8 @@ def bfs_paths(
             candidate = Path(vertices, edges)
             if spec.emit_ok(candidate, sums):
                 stats.paths_emitted += 1
+                if token is not None:
+                    token.tick_path()
                 yield candidate
         if not spec.length_could_grow_to(len(edges)):
             continue
@@ -515,6 +541,8 @@ def bfs_paths(
         position = len(edges)
         for edge in topology.out_edges_of(current.id):
             stats.edges_examined += 1
+            if token is not None:
+                token.tick_edge()
             if not spec.edge_allowed(position, edge):
                 continue
             next_id = _next_vertex_id(view, current.id, edge)
@@ -553,6 +581,8 @@ def bfs_paths(
                     )
                     if spec.emit_ok(candidate, tuple(new_sums)):
                         stats.paths_emitted += 1
+                        if token is not None:
+                            token.tick_path()
                         yield candidate
                 continue
             queue.append(
@@ -591,6 +621,7 @@ def _bfs_global(
     visited: Set[Any] = set()
     parents: Dict[Any, Optional[Tuple[Any, Edge]]] = {}
     queue: "deque[Tuple[Vertex, int]]" = deque()
+    token = current_token()
     for start in _start_vertices(view, start_ids):
         if start.id in visited:
             continue
@@ -602,11 +633,15 @@ def _bfs_global(
     while queue:
         stats.note_frontier(len(queue))
         vertex, depth = queue.popleft()
+        if token is not None:
+            token.tick_vertex()
         if depth >= min_length and depth > 0:
             if target is None or vertex.id == target:
                 candidate = _reconstruct_path(vertices_map, parents, vertex.id)
                 if spec.emit_ok(candidate, ()):
                     stats.paths_emitted += 1
+                    if token is not None:
+                        token.tick_path()
                     yield candidate
                     if target is not None:
                         return
@@ -617,6 +652,8 @@ def _bfs_global(
         for edge_id in vertex.out_edges:
             edge = edges_map[edge_id]
             stats.edges_examined += 1
+            if token is not None:
+                token.tick_edge()
             if check_edges and not spec.edge_allowed(depth, edge):
                 continue
             if directed:
@@ -670,12 +707,15 @@ def shortest_paths(
     counter = itertools.count()
     heap: List[Tuple[float, int, Tuple[Vertex, ...], Tuple[Edge, ...]]] = []
     settled: Dict[Any, int] = {}
+    token = current_token()
     for start in _start_vertices(view, start_ids):
         if spec.vertex_allowed(0, start):
             heapq.heappush(heap, (0.0, next(counter), (start,), ()))
     while heap:
         stats.note_frontier(len(heap))
         cost, _tiebreak, vertices, edges = heapq.heappop(heap)
+        if token is not None:
+            token.tick_vertex()
         tail = vertices[-1]
         times_settled = settled.get(tail.id, 0)
         if times_settled >= max_paths_per_vertex:
@@ -685,6 +725,8 @@ def shortest_paths(
             candidate = Path(vertices, edges, cost=cost)
             if spec.emit_ok(candidate, ()):
                 stats.paths_emitted += 1
+                if token is not None:
+                    token.tick_path()
                 yield candidate
                 if (
                     spec.target_vertex_id is not None
@@ -698,6 +740,8 @@ def shortest_paths(
         position = len(edges)
         for edge in topology.out_edges_of(tail.id):
             stats.edges_examined += 1
+            if token is not None:
+                token.tick_edge()
             if not spec.edge_allowed(position, edge):
                 continue
             next_id = _next_vertex_id(view, tail.id, edge)

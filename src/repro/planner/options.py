@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..budget import QueryBudget
+
 
 class PlannerOptions:
     """Tunables for query optimization.
@@ -26,6 +28,10 @@ class PlannerOptions:
             estimated cardinality (smallest filtered input first,
             connected equi-joins before cross products). Off, joins run
             in FROM order.
+        budget: a :class:`~repro.budget.QueryBudget` applied to every
+            statement planned with these options. Combined (tightest
+            knob wins) with the per-``Database`` budget and any
+            per-statement budget passed to ``db.execute(sql, budget=...)``.
     """
 
     def __init__(
@@ -36,6 +42,7 @@ class PlannerOptions:
         reachability_shortcut: bool = True,
         default_max_path_length: Optional[int] = None,
         reorder_joins: bool = True,
+        budget: Optional[QueryBudget] = None,
     ):
         self.push_path_filters = push_path_filters
         self.infer_path_length = infer_path_length
@@ -43,6 +50,7 @@ class PlannerOptions:
         self.reachability_shortcut = reachability_shortcut
         self.default_max_path_length = default_max_path_length
         self.reorder_joins = reorder_joins
+        self.budget = budget
 
     def copy(self, **overrides) -> "PlannerOptions":
         values = {
@@ -52,6 +60,7 @@ class PlannerOptions:
             "reachability_shortcut": self.reachability_shortcut,
             "default_max_path_length": self.default_max_path_length,
             "reorder_joins": self.reorder_joins,
+            "budget": self.budget,
         }
         values.update(overrides)
         return PlannerOptions(**values)
@@ -62,5 +71,6 @@ class PlannerOptions:
             f"infer={self.infer_path_length}, "
             f"default={self.default_traversal!r}, "
             f"shortcut={self.reachability_shortcut}, "
-            f"max_len={self.default_max_path_length})"
+            f"max_len={self.default_max_path_length}, "
+            f"budget={self.budget!r})"
         )

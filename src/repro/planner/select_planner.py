@@ -607,7 +607,10 @@ class SelectPlanner:
                 if compiled.aliases:
                     continue
                 empty_row = [None] * width
-                key_fn = lambda _c=compiled: _c.fn(empty_row)
+
+                def key_fn(_c=compiled, _row=empty_row):
+                    return _c.fn(_row)
+
                 if isinstance(binding, VertexBinding):
                     scan = VertexLookupOp(binding.view, key_fn, slot, width)
                 else:

@@ -10,8 +10,14 @@ Statements end with ``;`` and may span lines. Dot-commands:
 ``.explain SQL``      physical plan of a SELECT (no trailing ``;`` needed)
 ``.timer on|off``     print wall-clock time per statement
 ``.run FILE``         execute a ``;``-separated SQL script from a file
+``\\timeout MS``       abort statements running longer than MS milliseconds
+                      (``\\timeout off`` clears; ``\\timeout`` shows current)
 ``.quit``             exit
 ====================  ====================================================
+
+Errors never kill the session: every :class:`~repro.errors.DatabaseError`
+prints as a one-line message (syntax errors point at line and column;
+budget aborts hint at ``\\timeout``) and the prompt returns.
 """
 
 from __future__ import annotations
@@ -20,9 +26,10 @@ import sys
 import time
 from typing import Iterable, List, Optional, TextIO
 
+from .budget import QueryBudget
 from .core.database import Database
 from .core.result import ResultSet
-from .errors import DatabaseError
+from .errors import DatabaseError, ResourceExhaustedError, SqlSyntaxError
 
 PROMPT = "repro> "
 CONTINUATION = "  ...> "
@@ -74,6 +81,7 @@ class Shell:
         self.db = database or Database()
         self.out = out
         self.timer = False
+        self.timeout_ms: Optional[int] = None
         self._buffer: List[str] = []
         self.done = False
 
@@ -91,6 +99,9 @@ class Shell:
         if not self._buffer and stripped.startswith("."):
             self._dot_command(stripped)
             return
+        if not self._buffer and stripped.startswith("\\"):
+            self._meta_command(stripped)
+            return
         if not stripped and not self._buffer:
             return
         self._buffer.append(line)
@@ -104,11 +115,30 @@ class Shell:
         try:
             result = self.db.execute(sql)
         except DatabaseError as error:
-            self.write(f"error: {error}")
+            self.write(self._format_error(error))
             return
         self.write(format_result(result))
         if self.timer:
             self.write(f"time: {(time.perf_counter() - started) * 1000:.2f} ms")
+
+    @staticmethod
+    def _format_error(error: DatabaseError) -> str:
+        """One friendly line per failure; the session always survives."""
+        message = str(error).split("\n", 1)[0]
+        if isinstance(error, SqlSyntaxError) and error.line:
+            suffix = f" (at line {error.line}, column {error.column})"
+            if message.endswith(suffix):
+                message = message[: -len(suffix)]
+            return (
+                f"syntax error at line {error.line}, column {error.column}: "
+                f"{message}"
+            )
+        if isinstance(error, ResourceExhaustedError):
+            return (
+                f"aborted: {message} "
+                "(adjust with \\timeout or a wider QueryBudget)"
+            )
+        return f"error: {message}"
 
     # ------------------------------------------------------------------
     # dot commands
@@ -138,6 +168,43 @@ class Shell:
             self._run_script(argument)
         else:
             self.write(f"unknown command {command} (try .help)")
+
+    # ------------------------------------------------------------------
+    # backslash meta commands
+    # ------------------------------------------------------------------
+
+    def _meta_command(self, line: str) -> None:
+        parts = line.split(None, 1)
+        command = parts[0].lower()
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if command == "\\timeout":
+            self._set_timeout(argument)
+        else:
+            self.write(f"unknown command {command} (try .help)")
+
+    def _set_timeout(self, argument: str) -> None:
+        """``\\timeout MS`` — session statement budget; ``off`` clears."""
+        if not argument:
+            if self.timeout_ms is None:
+                self.write("timeout off")
+            else:
+                self.write(f"timeout {self.timeout_ms} ms")
+            return
+        if argument.lower() in ("off", "0", "none"):
+            self.timeout_ms = None
+            self.db.set_budget(None)
+            self.write("timeout off")
+            return
+        try:
+            ms = int(argument)
+            if ms <= 0:
+                raise ValueError
+        except ValueError:
+            self.write("usage: \\timeout MS|off")
+            return
+        self.timeout_ms = ms
+        self.db.set_budget(QueryBudget(timeout_ms=ms))
+        self.write(f"timeout {ms} ms")
 
     def _list_objects(self) -> None:
         catalog = self.db.catalog
@@ -200,7 +267,7 @@ class Shell:
         try:
             self.write(self.db.explain(sql.rstrip(";")))
         except DatabaseError as error:
-            self.write(f"error: {error}")
+            self.write(self._format_error(error))
 
     def _run_script(self, path: str) -> None:
         if not path:
@@ -215,7 +282,7 @@ class Shell:
         try:
             results = self.db.execute_script(script)
         except DatabaseError as error:
-            self.write(f"error: {error}")
+            self.write(self._format_error(error))
             return
         self.write(f"ok ({len(results)} statement(s))")
 
@@ -229,7 +296,7 @@ class Shell:
             for line in lines:
                 if self.done:
                     break
-                self.feed_line(line)
+                self._feed_line_safely(line)
             return
         while not self.done:
             try:
@@ -240,7 +307,15 @@ class Shell:
                 self._buffer = []
                 self.write("")
                 continue
+            self._feed_line_safely(line)
+
+    def _feed_line_safely(self, line: str) -> None:
+        """Backstop: a DatabaseError escaping a command never kills the
+        loop (statement execution already reports errors inline)."""
+        try:
             self.feed_line(line)
+        except DatabaseError as error:
+            self.write(self._format_error(error))
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper

@@ -163,7 +163,9 @@ class Table:
         self._listeners.append(listener)
 
     def remove_listener(self, listener: TableListener) -> None:
-        self._listeners = [l for l in self._listeners if l is not listener]
+        self._listeners = [
+            entry for entry in self._listeners if entry is not listener
+        ]
 
     def attach_index(self, index: "Index") -> None:
         if index.name in self.indexes:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from ..budget import current_token
 from ..errors import TransactionError
 from ..storage.table import Table, TableListener, TuplePointer
 
@@ -89,10 +90,20 @@ class TransactionManager:
         No-ops outside a transaction (raw-table usage), during rollback
         replay (the replay must not re-log itself), and inside a
         :meth:`suspend_undo` window.
+
+        Doubles as the write-side budget check point: the active
+        :class:`~repro.budget.CancellationToken` observes the undo-log
+        depth (a memory proxy for how much a statement has written) and
+        aborts the statement when ``max_undo_depth`` is exceeded — the
+        inverse operation is recorded *first*, so the rollback that
+        follows undoes this write too.
         """
         if self._in_rollback or self._undo_suspended or self._current is None:
             return
         self._current.record_undo(action)
+        token = current_token()
+        if token is not None:
+            token.note_undo_depth(self._current.undo_depth)
 
     def suspend_undo(self) -> "_UndoSuspension":
         """Context manager: skip undo recording for *derived* writes.

@@ -1,6 +1,6 @@
 """Shared helpers for building graph views in tests."""
 
-from repro.graph import GraphView, build_graph_view
+from repro.graph import build_graph_view
 from repro.storage.schema import Column, TableSchema
 from repro.storage.table import Table
 from repro.types import SqlType

@@ -168,7 +168,9 @@ class TestPropertyGraphSims:
 
     def test_reachability_with_filter(self):
         sim = neo4j_sim(self.make_graph())
-        only_a = lambda rel: rel.get_property("elabel") == "a"
+        def only_a(rel):
+            return rel.get_property("elabel") == "a"
+
         assert sim.reachability(1, 4, edge_filter=only_a)[0]
         assert not sim.reachability(1, 3, edge_filter=only_a)[0]
 

@@ -135,8 +135,8 @@ class TestAsciiChart:
         assert "#" in text
         # the slower bar must be longer
         lines = text.splitlines()
-        fast_bar = next(l for l in lines if l.strip().startswith("fast"))
-        slow_bar = next(l for l in lines if l.strip().startswith("slow"))
+        fast_bar = next(line for line in lines if line.strip().startswith("fast"))
+        slow_bar = next(line for line in lines if line.strip().startswith("slow"))
         assert slow_bar.count("#") > fast_bar.count("#")
 
     def test_chart_with_no_measurements(self):

@@ -1,9 +1,18 @@
 """Tests for command logging (snapshot + log = VoltDB-style recovery)."""
 
+import warnings
+
 import pytest
 
-from repro import Database, ExecutionError
-from repro.core.command_log import enable_command_log, replay_log
+from repro import Database, ExecutionError, RecoveryError
+from repro.core.command_log import (
+    _decode,
+    _encode,
+    _format_line,
+    _is_loggable,
+    enable_command_log,
+    replay_log,
+)
 
 
 def make_logged_db(tmp_path):
@@ -97,6 +106,204 @@ class TestLogging:
         log_path.write_text("CREATE TABLE t (a INTEGER)\nSELECT garbage(\n")
         with pytest.raises(ExecutionError, match="bad.log:2"):
             replay_log(str(log_path))
+
+
+class TestEncoding:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "INSERT INTO t VALUES ('plain')",
+            "INSERT INTO t VALUES ('line1\nline2')",
+            "INSERT INTO t VALUES ('trailing backslash \\')",
+            "INSERT INTO t VALUES ('mixed \\n literal\nand real')",
+            "\\",
+            "ends with backslash\\",
+        ],
+    )
+    def test_encode_decode_round_trip(self, sql):
+        encoded = _encode(sql)
+        assert "\n" not in encoded  # one statement per line, always
+        assert _decode(encoded) == sql
+
+
+class TestLoggability:
+    def test_matches_on_parsed_statement_not_prefix(self):
+        # a leading comment must not hide a data-changing statement
+        assert _is_loggable("-- fix for ticket 42\nINSERT INTO t VALUES (1)")
+        assert _is_loggable("/* batch */ UPDATE t SET a = 1")
+        # ... and a SELECT mentioning DML keywords must not be logged
+        assert not _is_loggable("SELECT 'INSERT INTO t' FROM t")
+        assert not _is_loggable("SELECT * FROM inserted_rows")
+        # unparseable text can never have committed
+        assert not _is_loggable("INSERT INTO (")
+
+    def test_leading_comment_statement_is_logged_and_replayed(self, tmp_path):
+        db, log = make_logged_db(tmp_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("-- audit note\nINSERT INTO t VALUES (7)")
+        recovered = replay_log(str(log.path))
+        assert recovered.execute("SELECT a FROM t").scalar() == 7
+
+
+class TestChecksums:
+    def test_lines_carry_crc32(self, tmp_path):
+        db, log = make_logged_db(tmp_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        line = log.path.read_text().splitlines()[0]
+        crc, payload = line.split("\t", 1)
+        assert len(crc) == 8
+        int(crc, 16)  # valid hex
+        assert payload == "CREATE TABLE t (a INTEGER)"
+
+    def test_corrupted_line_aborts_by_default(self, tmp_path):
+        log_path = tmp_path / "c.log"
+        good = _format_line("CREATE TABLE t (a INTEGER)")
+        bad = _format_line("INSERT INTO t VALUES (1)").replace(
+            "VALUES (1)", "VALUES (9)"
+        )  # payload edited, checksum now stale
+        log_path.write_text(good + bad)
+        with pytest.raises(RecoveryError, match="c.log:2.*checksum mismatch"):
+            replay_log(str(log_path))
+
+    def test_corrupted_line_skipped_on_request(self, tmp_path):
+        log_path = tmp_path / "c.log"
+        log_path.write_text(
+            _format_line("CREATE TABLE t (a INTEGER)")
+            + _format_line("INSERT INTO t VALUES (1)").replace("(1)", "(9)")
+            + _format_line("INSERT INTO t VALUES (2)")
+        )
+        db = replay_log(str(log_path), on_error="skip")
+        assert db.execute("SELECT a FROM t").column(0) == [2]
+        report = db.recovery_report
+        assert report.statements_replayed == 2
+        assert report.skipped == [(2, "checksum mismatch")]
+        assert not report.clean
+
+    def test_corrupted_line_stops_on_request(self, tmp_path):
+        log_path = tmp_path / "c.log"
+        log_path.write_text(
+            _format_line("CREATE TABLE t (a INTEGER)")
+            + _format_line("INSERT INTO t VALUES (1)")
+            + _format_line("INSERT INTO t VALUES (2)").replace("(2)", "(9)")
+            + _format_line("INSERT INTO t VALUES (3)")
+        )
+        db = replay_log(str(log_path), on_error="stop")
+        # everything before the damage is kept; nothing after is applied
+        assert db.execute("SELECT a FROM t").column(0) == [1]
+        assert db.recovery_report.stopped_at_line == 3
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        log_path = tmp_path / "c.log"
+        log_path.write_text("")
+        with pytest.raises(ValueError, match="on_error"):
+            replay_log(str(log_path), on_error="ignore")
+
+    def test_legacy_checksumless_log_still_replays(self, tmp_path):
+        log_path = tmp_path / "legacy.log"
+        log_path.write_text(
+            "CREATE TABLE t (a INTEGER)\nINSERT INTO t VALUES (1)\n"
+        )
+        db = replay_log(str(log_path))
+        assert db.execute("SELECT a FROM t").scalar() == 1
+        assert db.recovery_report.clean
+
+
+class TestTornTail:
+    def test_torn_tail_dropped_and_reported(self, tmp_path):
+        log_path = tmp_path / "torn.log"
+        complete = _format_line("CREATE TABLE t (a INTEGER)") + _format_line(
+            "INSERT INTO t VALUES (1)"
+        )
+        # crash mid-append: half a checksummed line, no newline
+        log_path.write_text(
+            complete + _format_line("INSERT INTO t VALUES (2)")[:15]
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            db = replay_log(str(log_path))
+        assert db.execute("SELECT a FROM t").column(0) == [1]
+        assert db.recovery_report.torn_tail is not None
+        assert "torn tail" in str(caught[0].message)
+        # the file was truncated back to complete statements only
+        assert log_path.read_text() == complete
+
+    def test_complete_line_missing_only_newline_is_replayed(self, tmp_path):
+        log_path = tmp_path / "torn.log"
+        log_path.write_text(
+            _format_line("CREATE TABLE t (a INTEGER)")
+            + _format_line("INSERT INTO t VALUES (1)").rstrip("\n")
+        )
+        db = replay_log(str(log_path))
+        # checksum validates: the statement was whole, only \n was lost
+        assert db.execute("SELECT a FROM t").scalar() == 1
+        assert db.recovery_report.torn_tail is None
+
+    def test_torn_tail_on_single_line_log(self, tmp_path):
+        log_path = tmp_path / "torn.log"
+        log_path.write_text(_format_line("CREATE TABLE t (a INTEGER)")[:10])
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            db = replay_log(str(log_path))
+        assert db.recovery_report.statements_replayed == 0
+        assert log_path.read_text() == ""
+
+    def test_torn_legacy_tail_dropped(self, tmp_path):
+        log_path = tmp_path / "torn.log"
+        log_path.write_text(
+            "CREATE TABLE t (a INTEGER)\nINSERT INTO t VAL"
+        )
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            db = replay_log(str(log_path))
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+        assert db.recovery_report.torn_tail is not None
+
+
+class TestReplayPolicies:
+    def test_skip_records_execution_failures(self, tmp_path):
+        log_path = tmp_path / "p.log"
+        log_path.write_text(
+            _format_line("CREATE TABLE t (a INTEGER PRIMARY KEY)")
+            + _format_line("INSERT INTO t VALUES (1)")
+            + _format_line("INSERT INTO t VALUES (1)")  # duplicate key
+            + _format_line("INSERT INTO t VALUES (2)")
+        )
+        db = replay_log(str(log_path), on_error="skip")
+        assert db.execute("SELECT a FROM t").column(0) == [1, 2]
+        (line, reason), = db.recovery_report.skipped
+        assert line == 3
+        assert "skipped 1 line(s)" in db.recovery_report.summary()
+
+    def test_recover_facade_passes_policy_through(self, tmp_path):
+        db = Database()
+        log = enable_command_log(db, str(tmp_path / "commands.log"))
+        db.execute("CREATE TABLE t (a INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        snapshot = tmp_path / "snap.json"
+        db.save_snapshot(str(snapshot))
+        log.truncate()
+        db.execute("INSERT INTO t VALUES (3)")
+
+        recovered = Database.recover(
+            snapshot=str(snapshot), command_log=str(log.path)
+        )
+        assert recovered.execute(
+            "SELECT a FROM t ORDER BY a"
+        ).column(0) == [1, 2, 3]
+        assert recovered.recovery_report.statements_replayed == 1
+
+    def test_logged_db_still_accepts_statement_budget(self, tmp_path):
+        """The command-log wrapper must forward the budget kwarg."""
+        from repro import QueryBudget, ResourceExhaustedError
+
+        db, log = make_logged_db(tmp_path)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1), (2), (3)")
+        with pytest.raises(ResourceExhaustedError):
+            db.execute("SELECT a FROM t", budget=QueryBudget(max_rows=1))
+        # the failed SELECT is not loggable; the log stays replayable
+        recovered = replay_log(str(log.path))
+        assert recovered.execute("SELECT COUNT(*) FROM t").scalar() == 3
 
 
 class TestSnapshotPlusLog:

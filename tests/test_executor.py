@@ -1,7 +1,5 @@
 """Direct unit tests for the Volcano executor operators."""
 
-import pytest
-
 from repro.executor import (
     AggregateOp,
     DistinctOp,

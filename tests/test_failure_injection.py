@@ -1,6 +1,9 @@
 """Failure-injection tests: the engine must stay consistent when
 components fail mid-operation (listener errors, constraint violations
-inside multi-row statements, traversal errors mid-pipeline)."""
+inside multi-row statements, traversal errors mid-pipeline, budget
+exhaustion mid-traversal or mid-write)."""
+
+import time
 
 import pytest
 
@@ -9,6 +12,9 @@ from repro import (
     Database,
     ExecutionError,
     IntegrityError,
+    QueryBudget,
+    QueryTimeoutError,
+    ResourceExhaustedError,
 )
 from repro.storage.table import TableListener
 
@@ -148,6 +154,135 @@ class TestExplicitTransactionFailureRecovery:
         topology = db.graph_view("g").topology
         assert topology.has_edge(51)
         assert not topology.has_edge(50)
+
+
+class TestBudgetExhaustion:
+    """The resource governor aborts runaway queries; the database must
+    stay fully consistent and usable afterwards."""
+
+    def test_unbounded_paths_over_cycle_hits_exploration_cap(self, db):
+        db.execute("INSERT INTO E VALUES (12, 3, 1)")  # close the 3-cycle
+        with pytest.raises(ResourceExhaustedError, match="max_edges=4"):
+            db.execute(
+                "SELECT PS.Length FROM g.Paths PS",
+                budget=QueryBudget(max_edges=4),
+            )
+        # nothing about the abort touched durable state
+        assert db.execute("SELECT COUNT(*) FROM V").scalar() == 3
+        assert db.execute("SELECT COUNT(*) FROM E").scalar() == 3
+        topology = db.graph_view("g").topology
+        assert sorted(topology.vertices) == [1, 2, 3]
+        assert topology.edge_count == 3
+        # the same instance keeps answering queries, including PATHS
+        result = db.execute(
+            "SELECT PS.Length FROM g.Paths PS "
+            "WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 3"
+        )
+        assert result.rows
+
+    def test_dense_graph_timeout_within_a_second(self):
+        """An unbounded enumeration over a dense digraph (combinatorial
+        path count) must abort on its wall-clock budget, promptly."""
+        db = Database()
+        db.execute("CREATE TABLE V (id INTEGER PRIMARY KEY)")
+        db.execute(
+            "CREATE TABLE E (id INTEGER PRIMARY KEY, s INTEGER, d INTEGER)"
+        )
+        n = 10
+        db.load_rows("V", [(i,) for i in range(n)])
+        db.load_rows(
+            "E",
+            [
+                (i * n + j, i, j)
+                for i in range(n)
+                for j in range(n)
+                if i != j
+            ],
+        )
+        db.execute(
+            "CREATE DIRECTED GRAPH VIEW dense VERTEXES(ID = id) FROM V "
+            "EDGES(ID = id, FROM = s, TO = d) FROM E"
+        )
+        started = time.perf_counter()
+        with pytest.raises(QueryTimeoutError):
+            db.execute(
+                "SELECT PS.Length FROM dense.Paths PS",
+                budget=QueryBudget(timeout_ms=50),
+            )
+        assert time.perf_counter() - started < 1.0
+        # still consistent and usable
+        assert db.graph_view("dense").topology.edge_count == n * (n - 1)
+        assert db.execute("SELECT COUNT(*) FROM V").scalar() == n
+
+    def test_budget_abort_mid_insert_select_rolls_back(self, db):
+        db.execute("CREATE TABLE copy (id INTEGER PRIMARY KEY, n VARCHAR)")
+        with pytest.raises(ResourceExhaustedError, match="max_undo_depth"):
+            db.execute(
+                "INSERT INTO copy SELECT id, n FROM V",
+                budget=QueryBudget(max_undo_depth=2),
+            )
+        # the partial insert was rolled back in full
+        assert db.execute("SELECT COUNT(*) FROM copy").scalar() == 0
+        db.execute(
+            "INSERT INTO copy SELECT id, n FROM V",
+            budget=QueryBudget(max_undo_depth=100),
+        )
+        assert db.execute("SELECT COUNT(*) FROM copy").scalar() == 3
+
+    def test_timeout_mid_dml_rolls_back(self, db):
+        """A deadline that trips while a write statement scans leaves no
+        partial effects behind."""
+        db.execute("CREATE TABLE sink (a INTEGER)")
+        db.load_rows("sink", [(i,) for i in range(5000)])
+        with pytest.raises(QueryTimeoutError):
+            db.execute(
+                "UPDATE sink SET a = a + 1",
+                budget=QueryBudget(timeout_ms=1),
+            )
+        # every row is either its original value or the whole statement
+        # applied; after rollback the sum must be the original one
+        assert db.execute("SELECT SUM(a) FROM sink").scalar() == sum(
+            range(5000)
+        )
+
+
+class _OneShotUpdateBomb(TableListener):
+    """Fails exactly once on update, then behaves (so the rollback's
+    own cascade replay does not re-trigger it)."""
+
+    def __init__(self):
+        self.armed = False
+
+    def on_update(self, table, pointer, old_row, new_row):
+        if self.armed:
+            self.armed = False
+            raise RuntimeError("boom")
+
+
+class TestSuspendedUndoCascadeFailure:
+    def test_bomb_during_vertex_id_cascade_stays_consistent(self, db):
+        """The vertex-id cascade into the edge source runs under
+        ``suspend_undo``; a listener failing mid-cascade must still roll
+        back to a consistent relational + topology state."""
+        bomb = _OneShotUpdateBomb()
+        db.table("E").add_listener(bomb)
+        bomb.armed = True
+        with pytest.raises(RuntimeError, match="boom"):
+            db.execute("UPDATE V SET id = 9 WHERE id = 1")
+        # the rename was rolled back everywhere: rows and topology agree
+        assert sorted(
+            row[0] for row in db.execute("SELECT id FROM V").rows
+        ) == [1, 2, 3]
+        assert sorted(
+            (row[0], row[1], row[2])
+            for row in db.execute("SELECT id, s, d FROM E").rows
+        ) == [(10, 1, 2), (11, 2, 3)]
+        topology = db.graph_view("g").topology
+        assert sorted(topology.vertices) == [1, 2, 3]
+        assert topology.edge(10).from_id == 1
+        # and the same rename succeeds once the bomb is defused
+        db.execute("UPDATE V SET id = 9 WHERE id = 1")
+        assert db.graph_view("g").topology.edge(10).from_id == 9
 
 
 class TestStalePointerDefense:

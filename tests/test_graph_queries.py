@@ -349,7 +349,6 @@ class TestHintsAndPhysicalChoice:
         assert result.rows == [("1->2",)]
 
     def test_pushdown_disabled_still_correct(self, weighted):
-        slow = Database is not None  # readability marker
         db = weighted
         db.planner_options = PlannerOptions(push_path_filters=False)
         result = db.execute(

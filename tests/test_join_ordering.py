@@ -37,8 +37,8 @@ class TestGreedyOrdering:
         )
         # hash join build side is the right/inner operator; the outer
         # (probe) side listed first must be the small table
-        lines = [l.strip() for l in plan.splitlines()]
-        scan_lines = [l for l in lines if "SeqScan" in l]
+        lines = [line.strip() for line in plan.splitlines()]
+        scan_lines = [line for line in lines if "SeqScan" in line]
         assert scan_lines[0] == "SeqScan(small)"
 
     def test_from_order_kept_when_disabled(self, db):
@@ -47,7 +47,7 @@ class TestGreedyOrdering:
             "SELECT 1 FROM big b, small s WHERE b.k = s.k"
         )
         scan_lines = [
-            l.strip() for l in plan.splitlines() if "SeqScan" in l
+            line.strip() for line in plan.splitlines() if "SeqScan" in line
         ]
         assert scan_lines[0] == "SeqScan(big)"
 
@@ -60,7 +60,7 @@ class TestGreedyOrdering:
             "WHERE b.k = s.k AND s.tag = 't0'"
         )
         scan_lines = [
-            l.strip() for l in plan.splitlines() if "SeqScan" in l
+            line.strip() for line in plan.splitlines() if "SeqScan" in line
         ]
         assert scan_lines[0] == "SeqScan(small)"
 
@@ -68,15 +68,15 @@ class TestGreedyOrdering:
         db.execute("CREATE TABLE lonely (x INTEGER)")
         db.load_rows("lonely", [(i,) for i in range(5)])
         plan = db.explain(
-            "SELECT 1 FROM lonely l, big b, small s WHERE b.k = s.k"
+            "SELECT 1 FROM lonely line, big b, small s WHERE b.k = s.k"
         )
-        lines = [l.strip() for l in plan.splitlines()]
+        lines = [line.strip() for line in plan.splitlines()]
         # the unconnected table must not sit between the joined pair:
         # the first two scans are the equi-joined tables
         scan_names = [
-            l.split("(")[1].rstrip(")")
-            for l in lines
-            if l.startswith("SeqScan")
+            line.split("(")[1].rstrip(")")
+            for line in lines
+            if line.startswith("SeqScan")
         ]
         assert set(scan_names[:2]) == {"small", "big"}
 
@@ -85,7 +85,7 @@ class TestGreedyOrdering:
             "SELECT 1 FROM big b LEFT JOIN small s ON b.k = s.k"
         )
         scan_lines = [
-            l.strip() for l in plan.splitlines() if "SeqScan" in l
+            line.strip() for line in plan.splitlines() if "SeqScan" in line
         ]
         assert scan_lines[0] == "SeqScan(big)"
 

@@ -3,7 +3,7 @@ physical operator choices described in Sections 5-6 of the paper."""
 
 import pytest
 
-from repro import Database, PlannerOptions, PlanningError
+from repro import Database, PlanningError
 
 
 @pytest.fixture

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import PlanningError
 from repro.expr.scope import PathBinding, RelationBinding, Scope
-from repro.graph.traversal import PositionalFilter
 from repro.planner.conjuncts import (
     conjoin,
     equi_join_sides,

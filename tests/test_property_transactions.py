@@ -2,11 +2,9 @@
 commit/rollback decisions must leave tables and graph topology exactly
 matching a shadow oracle."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Database
-from repro.errors import DatabaseError
 
 
 def fresh_database():

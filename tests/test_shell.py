@@ -2,9 +2,7 @@
 
 import io
 
-import pytest
-
-from repro import Database
+from repro import Database, QueryBudget
 from repro.shell import Shell, format_result
 from repro.core.result import ResultSet
 
@@ -144,6 +142,76 @@ class TestDotCommands:
     def test_run_missing_file(self):
         output, _shell = run_lines([".run /does/not/exist.sql"])
         assert "cannot read" in output
+
+
+class TestFriendlyErrors:
+    def test_syntax_error_points_at_line_and_column(self):
+        output, shell = run_lines(["SELECT FROM WHERE;"])
+        assert "syntax error at line 1, column" in output
+        assert output.count("line 1") == 1  # no duplicated position info
+        assert not shell.done
+
+    def test_budget_abort_hints_at_timeout(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1), (2), (3)")
+        db.set_budget(QueryBudget(max_rows=1))
+        output, shell = run_lines(["SELECT a FROM t;"], database=db)
+        assert "aborted:" in output
+        assert "\\timeout" in output
+        assert not shell.done
+
+    def test_error_is_one_line(self):
+        output, _shell = run_lines(["SELECT * FROM missing;"])
+        error_lines = [
+            line for line in output.splitlines() if "error" in line
+        ]
+        assert len(error_lines) == 1
+
+
+class TestTimeoutMetaCommand:
+    def test_set_show_and_clear(self):
+        db = Database()
+        output, shell = run_lines(
+            ["\\timeout 250", "\\timeout", "\\timeout off"], database=db
+        )
+        assert "timeout 250 ms" in output
+        assert "timeout off" in output
+        assert shell.timeout_ms is None
+        assert db.budget is None
+
+    def test_sets_database_budget(self):
+        db = Database()
+        _output, shell = run_lines(["\\timeout 100"], database=db)
+        assert shell.timeout_ms == 100
+        assert db.budget == QueryBudget(timeout_ms=100)
+
+    def test_timeout_aborts_runaway_statement(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.load_rows("t", [(i,) for i in range(30)])
+        output, shell = run_lines(
+            [
+                "\\timeout 1",
+                "SELECT t1.a FROM t t1, t t2, t t3, t t4;",
+            ],
+            database=db,
+        )
+        assert "aborted:" in output
+        assert "timeout_ms=1" in output
+        assert not shell.done
+
+    def test_bad_argument(self):
+        output, _shell = run_lines(["\\timeout soon"])
+        assert "usage: \\timeout MS|off" in output
+
+    def test_unknown_backslash_command(self):
+        output, _shell = run_lines(["\\frobnicate"])
+        assert "unknown command" in output
+
+    def test_help_documents_timeout(self):
+        output, _shell = run_lines([".help"])
+        assert "\\timeout" in output
 
 
 class TestFormatResult:

@@ -1,14 +1,12 @@
-"""Tests for database snapshots (save / restore round trips)."""
+"""Tests for database snapshots (save / restore round trips,
+integrity verification on load)."""
+
+import json
 
 import pytest
 
-from repro import Database, ExecutionError
-from repro.core.snapshot import (
-    load_snapshot,
-    restore_into,
-    save_snapshot,
-    snapshot_to_dict,
-)
+from repro import Database, ExecutionError, RecoveryError
+from repro.core.snapshot import restore_into, snapshot_to_dict
 
 
 def build_database():
@@ -143,3 +141,63 @@ class TestDocumentShape:
         Database().save_snapshot(str(path))
         restored = Database.load_snapshot(str(path))
         assert restored.catalog.tables() == []
+
+
+class TestIntegrityVerification:
+    def test_snapshot_carries_checksum(self):
+        document = snapshot_to_dict(build_database())
+        assert len(document["checksum"]) == 8
+        int(document["checksum"], 16)
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = tmp_path / "snap.json"
+        build_database().save_snapshot(str(path))
+        document = json.loads(path.read_text())
+        document["tables"][0]["rows"][0][1] = "mallory"  # tamper a cell
+        path.write_text(json.dumps(document))
+        with pytest.raises(RecoveryError, match="checksum mismatch"):
+            Database.load_snapshot(str(path))
+
+    def test_truncated_file_is_not_json(self, tmp_path):
+        path = tmp_path / "snap.json"
+        build_database().save_snapshot(str(path))
+        content = path.read_text()
+        path.write_text(content[: len(content) // 2])  # torn write
+        with pytest.raises(RecoveryError, match="not valid JSON"):
+            Database.load_snapshot(str(path))
+
+    def test_non_object_document_rejected(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(RecoveryError, match="not a JSON object"):
+            Database.load_snapshot(str(path))
+
+    def test_missing_section_rejected(self, tmp_path):
+        path = tmp_path / "snap.json"
+        build_database().save_snapshot(str(path))
+        document = json.loads(path.read_text())
+        del document["graph_views"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(RecoveryError, match="missing section"):
+            Database.load_snapshot(str(path))
+
+    def test_error_names_the_file(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("{")
+        with pytest.raises(RecoveryError, match="snap.json"):
+            Database.load_snapshot(str(path))
+
+    def test_checksumless_snapshot_loads_for_compatibility(self, tmp_path):
+        path = tmp_path / "snap.json"
+        build_database().save_snapshot(str(path))
+        document = json.loads(path.read_text())
+        del document["checksum"]  # pre-hardening snapshot
+        path.write_text(json.dumps(document))
+        restored = Database.load_snapshot(str(path))
+        assert restored.execute("SELECT COUNT(*) FROM V").scalar() == 3
+
+    def test_untampered_snapshot_passes_verification(self, tmp_path):
+        path = tmp_path / "snap.json"
+        build_database().save_snapshot(str(path))
+        restored = Database.load_snapshot(str(path))
+        assert restored.graph_view("g").topology.edge_count == 2
