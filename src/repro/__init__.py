@@ -40,13 +40,17 @@ from .errors import (
     CatalogError,
     ConstraintViolation,
     DatabaseError,
+    DivergenceError,
     ExecutionError,
+    FencedError,
     GraphViewError,
     IntegrityError,
     PlanningError,
     QueryCancelledError,
     QueryTimeoutError,
+    ReadOnlyError,
     RecoveryError,
+    ReplicationError,
     ResourceExhaustedError,
     SqlSyntaxError,
     TransactionError,
@@ -74,6 +78,10 @@ __all__ = [
     "QueryTimeoutError",
     "QueryCancelledError",
     "RecoveryError",
+    "ReadOnlyError",
+    "ReplicationError",
+    "FencedError",
+    "DivergenceError",
     "TypeMismatchError",
     "ConstraintViolation",
     "IntegrityError",

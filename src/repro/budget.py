@@ -323,6 +323,21 @@ def current_token() -> Optional[CancellationToken]:
     return _TOKEN_STACK[-1] if _TOKEN_STACK else None
 
 
+def deactivate(token: Optional[CancellationToken]) -> None:
+    """Remove every occurrence of ``token`` from the ambient stack.
+
+    Backstop for lazy consumers: a generator that pushed ``token`` for
+    the duration of a pull uses this in a ``finally`` so that closing
+    the generator early (or a pull that raises) can never strand the
+    token and silently govern unrelated statements that run later.
+    """
+    if token is None:
+        return
+    for index in range(len(_TOKEN_STACK) - 1, -1, -1):
+        if _TOKEN_STACK[index] is token:
+            del _TOKEN_STACK[index]
+
+
 class activate:
     """Context manager installing ``token`` as the ambient token.
 

@@ -20,6 +20,33 @@ are still replayed: a loggable statement starts with a SQL keyword, and
 no keyword's first eight characters are all hex digits, so legacy lines
 can never be mistaken for checksummed ones.
 
+**Replication framing.** When the log is opened with an ``epoch``
+(``enable_command_log(db, path, epoch=1)``), every record additionally
+carries the writer's epoch and a monotonically increasing sequence
+number: the checksummed payload becomes ``r<epoch>.<seq> TAB statement``.
+The sequence number is the global log position (it keeps growing across
+epochs and across snapshots/truncations), which is what lets a primary
+ship its log to replicas, retransmit from any acknowledged position via
+:func:`read_records`, and compare replicas by how caught-up they are.
+The checksum covers the frame too, so a corrupted or spliced sequence
+number is detected exactly like a corrupted statement. Framing is
+opt-in: standalone databases keep writing the compact legacy format,
+and :func:`replay_log` replays both.
+
+**Durability policy.** ``sync`` controls when an appended record is
+forced to stable storage (``os.fsync``):
+
+* ``"commit"`` (default) — flush **and fsync** before the commit
+  returns. An acknowledged transaction survives a process *and* OS
+  crash; costs one fsync per commit (the classic group-commit knob).
+* ``"batch"`` — flush per commit, fsync every
+  ``batch_interval`` commits. A process crash loses nothing (the OS
+  has the data); an OS/power crash may lose the tail since the last
+  fsync. This is VoltDB's asynchronous command-logging mode.
+* ``"off"`` — flush per commit, never fsync explicitly. Same process
+  -crash guarantee as ``"batch"``; an OS crash may lose everything
+  since the last OS write-back.
+
 A file that does not end in a newline lost its tail to a torn write.
 Recovery keeps the final line only if its checksum validates (the
 statement was complete; only the newline was lost), otherwise it drops
@@ -39,34 +66,25 @@ original system.
 
 from __future__ import annotations
 
+import os
 import pathlib
+import re
 import warnings
 import zlib
-from typing import List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from ..errors import RecoveryError
-from ..sql import ast
 from ..sql.parser import parse_statement
-from .database import Database
+from .database import WRITE_STATEMENT_TYPES, Database
 
-#: Statement types that mutate durable state and therefore must be
-#: replayed on recovery. Matching on the parsed AST (rather than on a
-#: leading keyword) classifies statements with leading comments or
-#: unusual whitespace correctly.
-_LOGGED_STATEMENT_TYPES = (
-    ast.CreateTable,
-    ast.CreateIndex,
-    ast.CreateView,
-    ast.CreateGraphView,
-    ast.AlterGraphViewAddSource,
-    ast.Drop,
-    ast.Insert,
-    ast.Update,
-    ast.Delete,
-    ast.Truncate,
-)
+#: Statement types that must be replayed on recovery. Matching on the
+#: parsed AST (rather than on a leading keyword) classifies statements
+#: with leading comments or unusual whitespace correctly. Shared with
+#: the replica read-only enforcement in :mod:`repro.core.database`.
+_LOGGED_STATEMENT_TYPES = WRITE_STATEMENT_TYPES
 
 _ON_ERROR_POLICIES = ("abort", "skip", "stop")
+_SYNC_POLICIES = ("commit", "batch", "off")
 
 
 def _is_loggable(sql: str) -> bool:
@@ -115,6 +133,51 @@ def _format_line(sql: str) -> str:
     return f"{_checksum(payload)}\t{payload}\n"
 
 
+# A framed payload: r<epoch>.<sequence> TAB encoded-statement. The "r"
+# marker can never start a legacy payload that means something else —
+# loggable SQL begins with a keyword, never "r<digits>.<digits>\t".
+_FRAME_RE = re.compile(r"^r(\d+)\.(\d+)\t")
+
+
+def frame_body(epoch: int, sequence: int, sql: str) -> str:
+    """The checksummed body of a framed record (also the unit shipped
+    to replicas — both sides checksum exactly this string)."""
+    return f"r{epoch}.{sequence}\t{_encode(sql)}"
+
+
+def format_record(epoch: int, sequence: int, sql: str) -> str:
+    body = frame_body(epoch, sequence, sql)
+    return f"{_checksum(body)}\t{body}\n"
+
+
+def _parse_frame(payload: str) -> Optional[Tuple[int, int, str]]:
+    """``(epoch, sequence, encoded_sql)`` if ``payload`` is framed."""
+    match = _FRAME_RE.match(payload)
+    if match is None:
+        return None
+    return int(match.group(1)), int(match.group(2)), payload[match.end():]
+
+
+class LogRecord:
+    """One framed command-log entry: the unit of log shipping."""
+
+    __slots__ = ("epoch", "sequence", "sql")
+
+    def __init__(self, epoch: int, sequence: int, sql: str):
+        self.epoch = epoch
+        self.sequence = sequence
+        self.sql = sql
+
+    def body(self) -> str:
+        return frame_body(self.epoch, self.sequence, self.sql)
+
+    def checksum(self) -> str:
+        return _checksum(self.body())
+
+    def __repr__(self) -> str:
+        return f"LogRecord(e{self.epoch}.{self.sequence}, {self.sql!r})"
+
+
 _HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
 
 
@@ -154,6 +217,10 @@ class RecoveryReport:
         self.torn_tail: Optional[str] = None
         #: Line number where the ``"stop"`` policy halted, or ``None``.
         self.stopped_at_line: Optional[int] = None
+        #: Replication position of the last framed record replayed
+        #: (``None`` for legacy/unframed logs).
+        self.last_epoch: Optional[int] = None
+        self.last_sequence: Optional[int] = None
 
     @property
     def clean(self) -> bool:
@@ -165,6 +232,10 @@ class RecoveryReport:
 
     def summary(self) -> str:
         parts = [f"replayed {self.statements_replayed} statement(s)"]
+        if self.last_sequence is not None:
+            parts.append(
+                f"through e{self.last_epoch}.{self.last_sequence}"
+            )
         if self.torn_tail is not None:
             parts.append(f"dropped torn tail ({self.torn_tail})")
         if self.skipped:
@@ -177,12 +248,99 @@ class RecoveryReport:
         return f"RecoveryReport({self.summary()!r})"
 
 
-class CommandLog:
-    """Append-only statement log attached to a database."""
+class _LogFile:
+    """An append handle over a log file with a durability policy.
 
-    def __init__(self, database: Database, path: str):
-        self.database = database
+    The handle stays open for the log's lifetime so the ``sync``
+    policy is meaningful: every append is flushed to the OS (other
+    processes — and crash recovery — always see complete statements),
+    and ``os.fsync`` is issued per the policy documented in the module
+    docstring. ``fsync_count`` is exposed so tests (and benchmarks) can
+    observe the durability/throughput tradeoff directly.
+    """
+
+    def __init__(self, path: str, sync: str = "commit", batch_interval: int = 64):
+        if sync not in _SYNC_POLICIES:
+            raise ValueError(
+                f"sync must be one of {_SYNC_POLICIES}, got {sync!r}"
+            )
+        if batch_interval <= 0:
+            raise ValueError("batch_interval must be positive")
         self.path = pathlib.Path(path)
+        self.path.touch()
+        self.sync = sync
+        self.batch_interval = batch_interval
+        self.fsync_count = 0
+        self._unsynced_batches = 0
+        self._handle = open(self.path, "a")
+
+    def write_line(self, line: str) -> None:
+        self._handle.write(line)
+
+    def commit_batch(self) -> None:
+        """One commit's worth of lines was written; make it durable."""
+        self._handle.flush()
+        if self.sync == "commit":
+            self._fsync()
+        elif self.sync == "batch":
+            self._unsynced_batches += 1
+            if self._unsynced_batches >= self.batch_interval:
+                self._fsync()
+
+    def sync_now(self) -> None:
+        """Force an fsync regardless of policy (checkpoint, shutdown)."""
+        self._handle.flush()
+        self._fsync()
+
+    def _fsync(self) -> None:
+        os.fsync(self._handle.fileno())
+        self.fsync_count += 1
+        self._unsynced_batches = 0
+
+    def truncate(self) -> None:
+        self._handle.flush()
+        self._handle.truncate(0)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+class CommandLog:
+    """Append-only statement log attached to a database.
+
+    With ``epoch`` set, records are framed with ``(epoch, sequence)``
+    for replication; ``pre_append_hook`` and ``on_record`` are the
+    replication attachment points (crash-point instrumentation and log
+    shipping, respectively) and stay ``None`` for standalone use.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        path: str,
+        sync: str = "commit",
+        epoch: Optional[int] = None,
+        batch_interval: int = 64,
+    ):
+        self.database = database
+        self._file = _LogFile(path, sync=sync, batch_interval=batch_interval)
+        self.path = self._file.path
+        self.epoch = epoch
+        self.last_sequence = 0
+        #: Sequence number at the last truncation: records with
+        #: ``sequence <= base_sequence`` are no longer in this file
+        #: (they are covered by the snapshot taken before truncating).
+        self.base_sequence = 0
+        #: Called after a commit decides to log, before anything is
+        #: written (replication installs a crash-point probe here).
+        self.pre_append_hook: Optional[Callable[[], None]] = None
+        #: Called once per durable framed record (replication ships it).
+        self.on_record: Optional[Callable[[LogRecord], None]] = None
+        if epoch is not None:
+            for record in read_records(self.path):
+                self.last_sequence = max(self.last_sequence, record.sequence)
         self._pending: List[str] = []
         self._original_execute = database.execute
         self._original_commit = database.commit
@@ -190,16 +348,40 @@ class CommandLog:
         database.execute = self._execute  # type: ignore[method-assign]
         database.commit = self._commit  # type: ignore[method-assign]
         database.rollback = self._rollback  # type: ignore[method-assign]
-        self.path.touch()
 
     # ------------------------------------------------------------------
+
+    @property
+    def sync(self) -> str:
+        return self._file.sync
+
+    @property
+    def fsync_count(self) -> int:
+        return self._file.fsync_count
+
+    def sync_now(self) -> None:
+        self._file.sync_now()
 
     def _append(self, statements: List[str]) -> None:
         if not statements:
             return
-        with open(self.path, "a") as handle:
-            for sql in statements:
-                handle.write(_format_line(sql))
+        if self.pre_append_hook is not None:
+            self.pre_append_hook()
+        records: List[LogRecord] = []
+        for sql in statements:
+            if self.epoch is None:
+                self._file.write_line(_format_line(sql))
+            else:
+                self.last_sequence += 1
+                record = LogRecord(self.epoch, self.last_sequence, sql)
+                self._file.write_line(
+                    format_record(record.epoch, record.sequence, record.sql)
+                )
+                records.append(record)
+        self._file.commit_batch()
+        if self.on_record is not None:
+            for record in records:
+                self.on_record(record)
 
     def _execute(self, sql: str, budget=None):
         result = self._original_execute(sql, budget=budget)
@@ -224,15 +406,115 @@ class CommandLog:
         self.database.execute = self._original_execute  # type: ignore
         self.database.commit = self._original_commit  # type: ignore
         self.database.rollback = self._original_rollback  # type: ignore
+        self._file.close()
 
     def truncate(self) -> None:
-        """Reset the log (after taking a snapshot)."""
-        self.path.write_text("")
+        """Reset the log (after taking a snapshot).
+
+        Sequence numbers keep counting from where they were — the log
+        position is global, so replicas bootstrapped from the snapshot
+        resume the stream seamlessly.
+        """
+        self._file.truncate()
+        self.base_sequence = self.last_sequence
 
 
-def enable_command_log(database: Database, path: str) -> CommandLog:
-    """Attach a command log to ``database``; returns the log handle."""
-    return CommandLog(database, path)
+class FramedLogWriter:
+    """A replica's durable log of *applied* records.
+
+    Unlike :class:`CommandLog` this does not hook a database and does
+    not assign sequence numbers: records are written with the exact
+    ``(epoch, sequence)`` the primary assigned, after they have been
+    applied locally. On restart the replica replays this file to
+    recover its position; on promotion a :class:`CommandLog` opened
+    over the same file continues the sequence where the primary left
+    off.
+    """
+
+    def __init__(self, path: str, sync: str = "commit"):
+        self._file = _LogFile(path, sync=sync)
+        self.path = self._file.path
+        self.last_epoch = 0
+        self.last_sequence = 0
+        for record in read_records(self.path):
+            self.last_epoch = record.epoch
+            self.last_sequence = max(self.last_sequence, record.sequence)
+
+    @property
+    def fsync_count(self) -> int:
+        return self._file.fsync_count
+
+    def append(self, epoch: int, sequence: int, sql: str) -> None:
+        self._file.write_line(format_record(epoch, sequence, sql))
+        self._file.commit_batch()
+        self.last_epoch = epoch
+        self.last_sequence = sequence
+
+    def truncate(self) -> None:
+        """Reset after a re-bootstrap (the snapshot supersedes the log)."""
+        self._file.truncate()
+        self.last_epoch = 0
+        self.last_sequence = 0
+
+    def close(self) -> None:
+        self._file.close()
+
+
+def enable_command_log(
+    database: Database,
+    path: str,
+    sync: str = "commit",
+    epoch: Optional[int] = None,
+) -> CommandLog:
+    """Attach a command log to ``database``; returns the log handle.
+
+    ``sync`` selects the durability policy (``"commit"`` | ``"batch"``
+    | ``"off"``, see the module docstring); ``epoch`` enables
+    replication framing.
+    """
+    return CommandLog(database, path, sync=sync, epoch=epoch)
+
+
+def _complete_lines(raw: str) -> Tuple[List[str], bool]:
+    """``(lines, torn)`` — the log's lines and whether the tail is torn."""
+    torn = not raw.endswith("\n")
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    return lines, torn
+
+
+def read_records(
+    path: str, from_sequence: int = 0
+) -> Iterator[LogRecord]:
+    """Stream the valid framed records of a command log.
+
+    This is the shipping/retransmission reader: a primary uses it to
+    re-send every record a lagging replica has not acknowledged
+    (``from_sequence`` = the replica's acknowledged position). It is
+    strictly read-only — corrupt, legacy and torn lines are passed
+    over without modifying the file (recovery's truncation behavior
+    lives in :func:`replay_log`).
+    """
+    log_path = pathlib.Path(path)
+    if not log_path.exists():
+        return
+    lines, torn = _complete_lines(log_path.read_text())
+    last_number = len(lines)
+    for line_number, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        crc_hex, payload = _split_checksummed(line)
+        if crc_hex is None or crc_hex != _checksum(payload):
+            if torn and line_number == last_number:
+                return  # torn tail, nothing after it
+            continue  # legacy or corrupt line: not shippable
+        frame = _parse_frame(payload)
+        if frame is None:
+            continue
+        epoch, sequence, encoded = frame
+        if sequence > from_sequence:
+            yield LogRecord(epoch, sequence, _decode(encoded))
 
 
 def _read_log_lines(log_path: pathlib.Path, report: RecoveryReport):
@@ -248,10 +530,7 @@ def _read_log_lines(log_path: pathlib.Path, report: RecoveryReport):
     raw = log_path.read_text()
     if not raw:
         return
-    torn = not raw.endswith("\n")
-    lines = raw.split("\n")
-    if lines and lines[-1] == "":
-        lines.pop()
+    lines, torn = _complete_lines(raw)
     last_number = len(lines)
     for line_number, line in enumerate(lines, start=1):
         if torn and line_number == last_number:
@@ -293,7 +572,8 @@ def replay_log(
     A torn final line (crash mid-append) is handled before the policy
     applies: it is dropped and reported, never fatal. The resulting
     database carries the :class:`RecoveryReport` in
-    ``db.recovery_report``.
+    ``db.recovery_report``; for framed (replicated) logs the report
+    also records the last ``(epoch, sequence)`` replayed.
     """
     if on_error not in _ON_ERROR_POLICIES:
         raise ValueError(
@@ -321,9 +601,12 @@ def replay_log(
                 return db
             report.skipped.append((line_number, "checksum mismatch"))
             continue
+        frame = _parse_frame(payload) if crc_hex is not None else None
+        if frame is not None:
+            epoch, sequence, payload = frame
         sql = _decode(payload)
         try:
-            db.execute(sql)
+            db.apply_replicated(sql)
         except Exception as error:
             if on_error == "abort":
                 raise RecoveryError(
@@ -335,4 +618,7 @@ def replay_log(
             report.skipped.append((line_number, str(error)))
             continue
         report.statements_replayed += 1
+        if frame is not None:
+            report.last_epoch = epoch
+            report.last_sequence = sequence
     return db

@@ -31,6 +31,7 @@ from ..errors import (
     CatalogError,
     ExecutionError,
     PlanningError,
+    ReadOnlyError,
 )
 from ..expr.compile import ExpressionCompiler
 from ..expr.scope import RelationBinding, Scope
@@ -51,6 +52,25 @@ from .views import MaterializedView
 
 _STREAM_DONE = object()  # sentinel: stream() iterator exhausted
 
+#: Statement types that mutate durable state. The command log replays
+#: exactly these on recovery, and a database in the ``"replica"`` role
+#: rejects them unless they arrive through :meth:`Database.apply_replicated`.
+WRITE_STATEMENT_TYPES = (
+    ast.CreateTable,
+    ast.CreateIndex,
+    ast.CreateView,
+    ast.CreateGraphView,
+    ast.AlterGraphViewAddSource,
+    ast.Drop,
+    ast.Insert,
+    ast.Update,
+    ast.Delete,
+    ast.Truncate,
+)
+
+#: Valid values for :attr:`Database.role`.
+ROLES = ("standalone", "primary", "replica")
+
 
 class Database:
     """An in-memory relational database with native graph views."""
@@ -65,11 +85,45 @@ class Database:
         self.planner_options = planner_options or PlannerOptions()
         self.budget = budget
         self.recovery_report = None  # set by Database.recover / replay_log
+        #: Replication role: "standalone" (default), "primary", or
+        #: "replica". Replicas reject client writes (see set_role).
+        self.role = "standalone"
+        self._replica_apply_depth = 0
         self._undo_listener = UndoListener(self.transactions)
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+
+    def set_role(self, role: str) -> None:
+        """Set the replication role of this database.
+
+        ``"replica"`` makes the database read-only for clients: any
+        data-changing statement raises
+        :class:`~repro.errors.ReadOnlyError`. Replication applies the
+        primary's shipped statements through :meth:`apply_replicated`,
+        which is exempt — the log stream is the *only* write path on a
+        replica, which is what keeps replicas convergent.
+        """
+        if role not in ROLES:
+            raise ValueError(f"role must be one of {ROLES}, got {role!r}")
+        self.role = role
+
+    def apply_replicated(
+        self, sql: str, budget: Optional[QueryBudget] = None
+    ) -> ResultSet:
+        """Replica apply hook: execute one replicated statement even
+        though the database's role is ``"replica"``.
+
+        This is the single write entry point replication uses when it
+        applies the primary's command-log stream through the ordinary
+        replay path; client-facing code must use :meth:`execute`.
+        """
+        self._replica_apply_depth += 1
+        try:
+            return self.execute(sql, budget=budget)
+        finally:
+            self._replica_apply_depth -= 1
 
     def set_budget(self, budget: Optional[QueryBudget]) -> None:
         """Install (or clear, with ``None``) the database-level budget.
@@ -173,15 +227,21 @@ class Database:
                 yield tuple(row)
             return
         iterator = iter(planned.operator)
-        while True:
-            # the ambient token is scoped to each pull, so interleaved
-            # statements (or other streams) govern themselves correctly
-            with budget_module.activate(token):
-                row = next(iterator, _STREAM_DONE)
-                if row is _STREAM_DONE:
-                    return
-                token.tick_rows()
-            yield tuple(row)
+        try:
+            while True:
+                # the ambient token is scoped to each pull, so interleaved
+                # statements (or other streams) govern themselves correctly
+                with budget_module.activate(token):
+                    row = next(iterator, _STREAM_DONE)
+                    if row is _STREAM_DONE:
+                        return
+                    token.tick_rows()
+                yield tuple(row)
+        finally:
+            # closing the generator early (or an exception escaping a
+            # pull) must never strand the token on the ambient stack,
+            # where it would govern unrelated statements
+            budget_module.deactivate(token)
 
     def explain(self, sql: str) -> str:
         """The physical plan of a SELECT, one operator per line."""
@@ -290,6 +350,15 @@ class Database:
         statement: ast.Statement,
         token: Optional[CancellationToken] = None,
     ) -> ResultSet:
+        if (
+            self.role == "replica"
+            and self._replica_apply_depth == 0
+            and isinstance(statement, WRITE_STATEMENT_TYPES)
+        ):
+            raise ReadOnlyError(
+                f"{type(statement).__name__} rejected: this database is a "
+                "read-only replica (writes go to the primary)"
+            )
         if isinstance(statement, ast.Select):
             return self._plan_and_run_select(statement, token)
         if isinstance(statement, ast.SetOperation):
@@ -862,10 +931,13 @@ class PreparedQuery:
                 yield tuple(row)
             return
         iterator = iter(self._planned.operator)
-        while True:
-            with budget_module.activate(token):
-                row = next(iterator, _STREAM_DONE)
-                if row is _STREAM_DONE:
-                    return
-                token.tick_rows()
-            yield tuple(row)
+        try:
+            while True:
+                with budget_module.activate(token):
+                    row = next(iterator, _STREAM_DONE)
+                    if row is _STREAM_DONE:
+                        return
+                    token.tick_rows()
+                yield tuple(row)
+        finally:
+            budget_module.deactivate(token)

@@ -165,8 +165,18 @@ def _extra_source_entry(
     }
 
 
-def snapshot_to_dict(database: Database) -> Dict[str, Any]:
-    """The snapshot document for ``database`` (JSON-serializable)."""
+def snapshot_to_dict(
+    database: Database,
+    replication: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The snapshot document for ``database`` (JSON-serializable).
+
+    ``replication``, when given, is embedded as the document's
+    ``"replication"`` section — replication stores the log position
+    (``{"epoch": E, "sequence": S}``) the snapshot corresponds to, so a
+    replica bootstrapping from it knows exactly where to resume the
+    shipped log. The section is covered by the document checksum.
+    """
     catalog = database.catalog
     view_backing_tables = {
         id(catalog.view(name).table) for name in list(catalog._views)
@@ -199,13 +209,19 @@ def snapshot_to_dict(database: Database) -> Dict[str, Any]:
         "views": views,
         "graph_views": graph_views,
     }
+    if replication is not None:
+        document["replication"] = dict(replication)
     document["checksum"] = _document_checksum(document)
     return document
 
 
-def save_snapshot(database: Database, path: str) -> None:
+def save_snapshot(
+    database: Database,
+    path: str,
+    replication: Optional[Dict[str, Any]] = None,
+) -> None:
     """Write the database to ``path`` as a JSON snapshot."""
-    document = snapshot_to_dict(database)
+    document = snapshot_to_dict(database, replication=replication)
     with open(path, "w") as handle:
         json.dump(document, handle)
 
@@ -214,7 +230,7 @@ def restore_into(document: Dict[str, Any], database: Database) -> Database:
     """Replay a snapshot document into a (fresh) database."""
     verify_snapshot_document(document)
     for entry in document["tables"]:
-        database.execute(entry["ddl"])
+        database.apply_replicated(entry["ddl"])
         database.load_rows(entry["name"], entry["rows"])
     for entry in document["indexes"]:
         if entry["kind"] == "ordered":
@@ -223,24 +239,24 @@ def restore_into(document: Dict[str, Any], database: Database) -> Database:
             )
         else:
             unique = "UNIQUE " if entry["unique"] else ""
-            database.execute(
+            database.apply_replicated(
                 f"CREATE {unique}INDEX {entry['name']} ON {entry['table']} "
                 f"({', '.join(entry['columns'])})"
             )
     for entry in document["views"]:
-        database.execute(f"CREATE VIEW {entry['name']} AS {entry['query']}")
+        database.apply_replicated(f"CREATE VIEW {entry['name']} AS {entry['query']}")
     for entry in document["graph_views"]:
         direction = "DIRECTED" if entry["directed"] else "UNDIRECTED"
         vertexes = ", ".join(f"{a} = {c}" for a, c in entry["vertex_mappings"])
         edges = ", ".join(f"{a} = {c}" for a, c in entry["edge_mappings"])
-        database.execute(
+        database.apply_replicated(
             f"CREATE {direction} GRAPH VIEW {entry['name']} "
             f"VERTEXES({vertexes}) FROM {entry['vertex_source']} "
             f"EDGES({edges}) FROM {entry['edge_source']}"
         )
         for extra in entry.get("extra_sources", []):
             mappings = ", ".join(f"{a} = {c}" for a, c in extra["mappings"])
-            database.execute(
+            database.apply_replicated(
                 f"ALTER GRAPH VIEW {entry['name']} ADD {extra['element']}"
                 f"({mappings}) FROM {extra['source']}"
             )

@@ -83,6 +83,47 @@ class GraphViewError(DatabaseError):
     """Raised for graph-view definition or maintenance problems."""
 
 
+class ReadOnlyError(ExecutionError):
+    """Raised when a data-changing statement reaches a database whose
+    role is ``"replica"``.
+
+    Replicas converge by applying the primary's shipped command log and
+    nothing else; a client write slipped into a replica would silently
+    diverge its state from the primary (and from every other replica).
+    Replicated statements enter through
+    :meth:`~repro.core.database.Database.apply_replicated`, which lifts
+    the restriction for exactly one statement.
+    """
+
+
+class ReplicationError(DatabaseError):
+    """Raised for replication protocol and topology problems: shipping
+    to a dead node, promoting an unknown replica, a write that cannot
+    reach the configured acknowledgement level."""
+
+
+class FencedError(ReplicationError):
+    """Raised when a fenced (deposed) primary is asked to commit a write.
+
+    After a failover the cluster moves to a higher epoch; the old
+    primary is *fenced* so a client still pointed at it cannot commit
+    writes that the new primary will never see (split-brain). Replicas
+    enforce the same property independently by discarding messages
+    stamped with a stale epoch.
+    """
+
+
+class DivergenceError(ReplicationError):
+    """Raised when a quarantined replica is asked to serve a read.
+
+    A replica quarantines itself when its state digest (per-table row
+    digests plus graph-view topology digests) disagrees with the digest
+    the primary shipped for the same log position. Serving reads from a
+    diverged replica would return wrong answers; the replica refuses
+    until it has re-bootstrapped from a fresh snapshot.
+    """
+
+
 class RecoveryError(ExecutionError):
     """Raised when crash recovery (snapshot load / command-log replay)
     detects corruption: a failed checksum, an unreadable snapshot

@@ -277,6 +277,17 @@ class GraphView:
     def _invalidate_statistics(self) -> None:
         self._average_fan_out = None
 
+    def topology_digest(self) -> str:
+        """Stable CRC32 (hex) of the materialized topology.
+
+        The topology is *derived* state: replicas rebuild it by applying
+        the same logged DML, so after applying the same log prefix every
+        replica must report the same digest. Replication ships this
+        alongside per-table row digests to detect a replica whose
+        maintenance diverged (see :mod:`repro.replication.digest`).
+        """
+        return self.topology.digest()
+
     # ------------------------------------------------------------------
     # vertices / edges iteration for VertexScan / EdgeScan
     # ------------------------------------------------------------------

@@ -11,10 +11,17 @@ relational data.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Dict, Iterator, List, Optional
 
 from ..errors import GraphViewError, IntegrityError
 from ..storage.table import TuplePointer
+
+
+def _canonical(identifier: Any) -> str:
+    """Type-tagged text form of a vertex/edge identifier, so that e.g.
+    ``1``, ``1.0``, ``True`` and ``"1"`` digest differently."""
+    return f"{type(identifier).__name__}\x1f{identifier!r}"
 
 
 class Vertex:
@@ -255,6 +262,28 @@ class GraphTopology:
             + per_edge * len(self.edges)
             + 8 * adjacency
         )
+
+    def digest(self) -> str:
+        """Stable CRC32 (hex) over the logical topology.
+
+        Covers directedness, the vertex identifier set, and every edge's
+        ``(id, from, to)`` triple — the state that must converge
+        identically on every replica applying the same logged workload.
+        Deliberately insensitive to physical artifacts (adjacency-list
+        order, insertion order, tuple pointers), so two topologies built
+        along different maintenance paths compare equal iff they
+        describe the same graph.
+        """
+        crc = zlib.crc32(b"directed" if self.directed else b"undirected")
+        for key in sorted(_canonical(v) for v in self.vertices):
+            crc = zlib.crc32(key.encode("utf-8"), crc)
+        edge_keys = sorted(
+            f"{_canonical(e.id)}:{_canonical(e.from_id)}>{_canonical(e.to_id)}"
+            for e in self.edges.values()
+        )
+        for key in edge_keys:
+            crc = zlib.crc32(key.encode("utf-8"), crc)
+        return format(crc, "08x")
 
     def degree_histogram(self) -> Dict[int, int]:
         histogram: Dict[int, int] = {}

@@ -1,0 +1,38 @@
+"""Primary–replica replication for the graph-extended relational engine.
+
+Log-shipping replication built on the engine's existing durability
+primitives (command log + snapshots): the primary frames every committed
+statement with ``(epoch, sequence)`` and streams it to replicas, which
+apply it through the standard replay path against read-only databases.
+Failover, divergence detection (logical state digests, including
+graph-view topologies), split-brain fencing, and a deterministic
+fault-injection harness are all here. See ``docs/replication.md``.
+"""
+
+from .digest import combined_digest, database_digest, table_digest
+from .fault_injection import (
+    CRASH_SITES,
+    FaultInjector,
+    SimulatedCrash,
+    register_crash_site,
+)
+from .manager import ReplicationManager
+from .primary import Primary, ReplicaLink
+from .replica import Replica
+from .transport import Channel, Message
+
+__all__ = [
+    "CRASH_SITES",
+    "Channel",
+    "FaultInjector",
+    "Message",
+    "Primary",
+    "Replica",
+    "ReplicaLink",
+    "ReplicationManager",
+    "SimulatedCrash",
+    "combined_digest",
+    "database_digest",
+    "register_crash_site",
+    "table_digest",
+]

@@ -1,0 +1,167 @@
+"""Deterministic fault injection for replication chaos testing.
+
+Two families of fault, one seeded random source:
+
+* **Message faults** — the :class:`FaultInjector` sits inside every
+  :class:`~repro.replication.transport.Channel` and may drop, delay,
+  duplicate, reorder, or corrupt each message sent through it. All
+  decisions come from one ``random.Random(seed)``, so a failing chaos
+  run replays bit-for-bit from its seed.
+
+* **Crash points** — named sites compiled into the primary and replica
+  code paths (``primary.after_commit_before_log``, ...). A test arms a
+  site; the next time execution reaches it, :class:`SimulatedCrash` is
+  raised, modelling the process dying at exactly that instruction. The
+  registry :data:`CRASH_SITES` is importable so a chaos suite can
+  enumerate *every* site and prove the acknowledged-commit guarantee
+  holds at each one.
+
+:class:`SimulatedCrash` deliberately does **not** derive from
+:class:`~repro.errors.DatabaseError`: no engine-level handler may
+swallow a simulated process death — only the replication layer's
+explicit crash guards (which mark the node down) and the test harness
+see it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+
+class SimulatedCrash(RuntimeError):
+    """The process died at a named crash point (simulation)."""
+
+    def __init__(self, site: str):
+        super().__init__(f"simulated crash at {site}")
+        self.site = site
+
+
+#: Every crash point compiled into the replication code paths,
+#: ``name -> description``. Tests iterate this to cover all of them.
+CRASH_SITES: Dict[str, str] = {}
+
+
+def register_crash_site(name: str, description: str = "") -> str:
+    """Declare a crash point; returns ``name`` for use as a constant."""
+    CRASH_SITES[name] = description
+    return name
+
+
+class FaultInjector:
+    """Seeded source of message faults and armed crash points.
+
+    ``drop``/``duplicate``/``reorder``/``corrupt``/``delay`` are
+    independent per-message probabilities in ``[0, 1]``; a delayed
+    message is held back for 1..``max_delay_ticks`` deliveries. The
+    ``counts`` dict records every fault actually injected, so a test
+    can assert its chaos really happened.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        corrupt: float = 0.0,
+        delay: float = 0.0,
+        max_delay_ticks: int = 3,
+    ):
+        for name, value in (
+            ("drop", drop),
+            ("duplicate", duplicate),
+            ("reorder", reorder),
+            ("corrupt", corrupt),
+            ("delay", delay),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        self.random = random.Random(seed)
+        self.seed = seed
+        self.probabilities = {
+            "drop": drop,
+            "duplicate": duplicate,
+            "reorder": reorder,
+            "corrupt": corrupt,
+            "delay": delay,
+        }
+        self.max_delay_ticks = max(1, max_delay_ticks)
+        self.counts: Dict[str, int] = {
+            kind: 0 for kind in self.probabilities
+        }
+        self.counts["crash"] = 0
+        self._armed: Dict[str, int] = {}
+        #: Sites that actually fired, in order.
+        self.crashes: List[str] = []
+
+    # ------------------------------------------------------------------
+    # message faults (used by transport.Channel)
+    # ------------------------------------------------------------------
+
+    def roll(self, kind: str) -> bool:
+        probability = self.probabilities[kind]
+        if probability <= 0.0:
+            return False
+        hit = self.random.random() < probability
+        if hit:
+            self.counts[kind] += 1
+        return hit
+
+    def delay_ticks(self) -> int:
+        return self.random.randint(1, self.max_delay_ticks)
+
+    def corrupt_text(self, text: str) -> str:
+        """Flip one character of ``text`` (guaranteed different)."""
+        if not text:
+            return "\x00"
+        index = self.random.randrange(len(text))
+        original = text[index]
+        replacement = "#" if original != "#" else "@"
+        return text[:index] + replacement + text[index + 1:]
+
+    # ------------------------------------------------------------------
+    # crash points
+    # ------------------------------------------------------------------
+
+    def arm_crash(self, site: str, after: int = 1) -> None:
+        """Arm ``site`` to fire on its ``after``-th hit (default: next)."""
+        if site not in CRASH_SITES:
+            raise ValueError(
+                f"unknown crash site {site!r}; registered: "
+                f"{sorted(CRASH_SITES)}"
+            )
+        if after < 1:
+            raise ValueError("after must be >= 1")
+        self._armed[site] = after
+    def armed(self, site: Optional[str] = None) -> bool:
+        if site is None:
+            return bool(self._armed)
+        return site in self._armed
+
+    def disarm(self, site: str) -> None:
+        self._armed.pop(site, None)
+
+    def crash_if_armed(self, site: str) -> None:
+        """Called by the instrumented code at crash point ``site``."""
+        remaining = self._armed.get(site)
+        if remaining is None:
+            return
+        if remaining > 1:
+            self._armed[site] = remaining - 1
+            return
+        del self._armed[site]
+        self.counts["crash"] += 1
+        self.crashes.append(site)
+        raise SimulatedCrash(site)
+
+    def __repr__(self) -> str:
+        active = {
+            kind: probability
+            for kind, probability in self.probabilities.items()
+            if probability > 0
+        }
+        return (
+            f"FaultInjector(seed={self.seed}, faults={active or 'none'}, "
+            f"armed={sorted(self._armed) or 'none'})"
+        )

@@ -12,6 +12,10 @@ Statements end with ``;`` and may span lines. Dot-commands:
 ``.run FILE``         execute a ``;``-separated SQL script from a file
 ``\\timeout MS``       abort statements running longer than MS milliseconds
                       (``\\timeout off`` clears; ``\\timeout`` shows current)
+``\\replica status``   one line per cluster node: role, epoch, applied
+                      sequence, lag, state (needs an attached cluster)
+``\\promote [NAME]``   fail over to replica NAME (or the most caught-up
+                      healthy replica); the old primary is fenced
 ``.quit``             exit
 ====================  ====================================================
 
@@ -77,8 +81,13 @@ class Shell:
         self,
         database: Optional[Database] = None,
         out: TextIO = sys.stdout,
+        cluster=None,
     ):
-        self.db = database or Database()
+        #: Optional :class:`~repro.replication.ReplicationManager` —
+        #: enables ``\replica status`` and ``\promote``. When attached,
+        #: the shell's database is the cluster's current primary's.
+        self.cluster = cluster
+        self.db = database or (cluster.primary.db if cluster else Database())
         self.out = out
         self.timer = False
         self.timeout_ms: Optional[int] = None
@@ -113,7 +122,12 @@ class Shell:
     def execute_statement(self, sql: str) -> None:
         started = time.perf_counter()
         try:
-            result = self.db.execute(sql)
+            if self.cluster is not None:
+                # route through the manager: writes are acknowledged
+                # only after the configured replicas have applied them
+                result = self.cluster.execute(sql)
+            else:
+                result = self.db.execute(sql)
         except DatabaseError as error:
             self.write(self._format_error(error))
             return
@@ -179,6 +193,10 @@ class Shell:
         argument = parts[1].strip() if len(parts) > 1 else ""
         if command == "\\timeout":
             self._set_timeout(argument)
+        elif command == "\\replica":
+            self._replica_command(argument)
+        elif command == "\\promote":
+            self._promote(argument)
         else:
             self.write(f"unknown command {command} (try .help)")
 
@@ -205,6 +223,41 @@ class Shell:
         self.timeout_ms = ms
         self.db.set_budget(QueryBudget(timeout_ms=ms))
         self.write(f"timeout {ms} ms")
+
+    def _replica_command(self, argument: str) -> None:
+        """``\\replica status`` — render the cluster's status rows."""
+        if argument.lower() != "status":
+            self.write("usage: \\replica status")
+            return
+        if self.cluster is None:
+            self.write("error: replication is not configured")
+            return
+        rows = self.cluster.status()
+        self.write(
+            f"epoch {self.cluster.epoch}, tick {self.cluster.tick}, "
+            f"primary {self.cluster.primary.name}"
+        )
+        for row in rows:
+            self.write(
+                f"  {row['node']:<12} {row['role']:<8} e{row['epoch']} "
+                f"seq={row['sequence']} lag={row['lag']} {row['state']}"
+            )
+
+    def _promote(self, argument: str) -> None:
+        """``\\promote [NAME]`` — manual failover to a replica."""
+        if self.cluster is None:
+            self.write("error: replication is not configured")
+            return
+        try:
+            new_primary = self.cluster.promote(argument or None)
+        except DatabaseError as error:
+            self.write(self._format_error(error))
+            return
+        self.db = new_primary.db
+        self.write(
+            f"promoted {new_primary.name} to primary "
+            f"(epoch {new_primary.epoch})"
+        )
 
     def _list_objects(self) -> None:
         catalog = self.db.catalog

@@ -256,3 +256,57 @@ class TestDatabaseEnforcement:
         assert db.execute("SELECT a FROM t ORDER BY a").column(0) == [
             1, 2, 3, 4, 5, 6, 7, 8,
         ]
+
+
+class TestStreamTokenHygiene:
+    """Regression: a stream generator closed early must not leave its
+    CancellationToken on the ambient stack — a leaked token would
+    govern (and falsely abort) unrelated later statements."""
+
+    def test_early_close_leaves_no_ambient_token(self, db):
+        from repro.budget import _TOKEN_STACK
+
+        stream = db.stream("SELECT a FROM t", budget=QueryBudget(max_rows=100))
+        next(stream)
+        stream.close()  # abandon mid-iteration
+        assert _TOKEN_STACK == []
+        assert current_token() is None
+        # later statements are ungoverned by the abandoned budget
+        assert len(db.execute("SELECT a FROM t").rows) == 8
+
+    def test_abandoned_generator_gc_leaves_no_ambient_token(self, db):
+        from repro.budget import _TOKEN_STACK
+
+        stream = db.stream("SELECT a FROM t", budget=QueryBudget(max_rows=2))
+        next(stream)
+        del stream  # GC closes the generator
+        assert _TOKEN_STACK == []
+        assert current_token() is None
+
+    def test_prepared_stream_early_close_is_clean(self, db):
+        from repro.budget import _TOKEN_STACK
+
+        prepared = db.prepare("SELECT a FROM t WHERE a > ?")
+        stream = prepared.stream(0, budget=QueryBudget(max_rows=100))
+        next(stream)
+        stream.close()
+        assert _TOKEN_STACK == []
+        assert len(prepared.execute(0).rows) == 8
+
+    def test_interleaved_streams_unwind_cleanly(self, db):
+        from repro.budget import _TOKEN_STACK
+
+        first = db.stream("SELECT a FROM t", budget=QueryBudget(max_rows=100))
+        second = db.stream("SELECT a FROM t", budget=QueryBudget(max_rows=100))
+        next(first)
+        next(second)
+        first.close()  # out of stack order
+        next(second)
+        second.close()
+        assert _TOKEN_STACK == []
+
+    def test_deactivate_none_is_noop(self):
+        from repro.budget import _TOKEN_STACK, deactivate
+
+        deactivate(None)
+        assert _TOKEN_STACK == []

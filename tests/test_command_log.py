@@ -323,3 +323,133 @@ class TestSnapshotPlusLog:
         assert recovered.execute(
             "SELECT a FROM t ORDER BY a"
         ).column(0) == [2, 3]
+
+
+class TestSyncPolicy:
+    def test_default_policy_fsyncs_every_commit(self, tmp_path):
+        db = Database()
+        log = enable_command_log(db, str(tmp_path / "c.log"))
+        assert log.sync == "commit"
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert log.fsync_count == 2
+
+    def test_batch_policy_fsyncs_every_interval(self, tmp_path):
+        from repro.core.command_log import CommandLog
+
+        db = Database()
+        log = CommandLog(db, str(tmp_path / "c.log"), sync="batch",
+                         batch_interval=3)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        for i in range(5):
+            db.execute(f"INSERT INTO t VALUES ({i})")
+        # 6 commits, interval 3 -> exactly 2 fsyncs
+        assert log.fsync_count == 2
+
+    def test_off_policy_never_fsyncs_but_still_flushes(self, tmp_path):
+        db = Database()
+        log = enable_command_log(db, str(tmp_path / "c.log"), sync="off")
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert log.fsync_count == 0
+        # flushed per commit: another reader sees complete statements
+        assert len(log.path.read_text().strip().splitlines()) == 2
+
+    def test_sync_now_forces_fsync(self, tmp_path):
+        db = Database()
+        log = enable_command_log(db, str(tmp_path / "c.log"), sync="off")
+        db.execute("CREATE TABLE t (a INTEGER)")
+        log.sync_now()
+        assert log.fsync_count == 1
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="sync must be one of"):
+            enable_command_log(Database(), str(tmp_path / "c.log"),
+                               sync="eventually")
+
+    def test_replay_works_under_every_policy(self, tmp_path):
+        for sync in ("commit", "batch", "off"):
+            db = Database()
+            path = tmp_path / f"{sync}.log"
+            enable_command_log(db, str(path), sync=sync)
+            db.execute("CREATE TABLE t (a INTEGER PRIMARY KEY)")
+            db.execute("INSERT INTO t VALUES (1)")
+            recovered = replay_log(str(path))
+            assert recovered.execute("SELECT a FROM t").rows == [(1,)]
+
+
+class TestReplicationFraming:
+    def test_framed_records_carry_epoch_and_sequence(self, tmp_path):
+        from repro.core.command_log import read_records
+
+        db = Database()
+        log = enable_command_log(db, str(tmp_path / "c.log"), epoch=2)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("SELECT * FROM t")  # not logged, no sequence burned
+        records = list(read_records(str(log.path)))
+        assert [(r.epoch, r.sequence) for r in records] == [(2, 1), (2, 2)]
+        assert log.last_sequence == 2
+
+    def test_frame_checksum_covers_sequence(self, tmp_path):
+        from repro.core.command_log import read_records
+
+        db = Database()
+        log = enable_command_log(db, str(tmp_path / "c.log"), epoch=1)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        # splice the sequence number without fixing the checksum
+        tampered = log.path.read_text().replace("r1.1\t", "r1.9\t")
+        log.path.write_text(tampered)
+        assert list(read_records(str(log.path))) == []
+
+    def test_reopened_log_resumes_sequence(self, tmp_path):
+        db = Database()
+        log = enable_command_log(db, str(tmp_path / "c.log"), epoch=1)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        log.detach()
+        db2 = replay_log(str(log.path))
+        log2 = enable_command_log(db2, str(log.path), epoch=2)
+        assert log2.last_sequence == 2
+        db2.execute("INSERT INTO t VALUES (2)")
+        assert log2.last_sequence == 3
+
+    def test_read_records_from_sequence_and_torn_tail(self, tmp_path):
+        from repro.core.command_log import read_records
+
+        db = Database()
+        log = enable_command_log(db, str(tmp_path / "c.log"), epoch=1)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        for i in range(3):
+            db.execute(f"INSERT INTO t VALUES ({i})")
+        assert [r.sequence for r in read_records(str(log.path),
+                                                 from_sequence=2)] == [3, 4]
+        # torn tail: reader stops, file untouched
+        original = log.path.read_text()
+        log.path.write_text(original + "deadbeef\tr1.9\tINSERT INTO")
+        assert [r.sequence for r in read_records(str(log.path))] == [
+            1, 2, 3, 4
+        ]
+        assert log.path.read_text().endswith("INSERT INTO")
+
+    def test_truncate_sets_base_and_keeps_counting(self, tmp_path):
+        db = Database()
+        log = enable_command_log(db, str(tmp_path / "c.log"), epoch=1)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        log.truncate()
+        assert log.base_sequence == 2
+        db.execute("INSERT INTO t VALUES (2)")
+        assert log.last_sequence == 3
+        from repro.core.command_log import read_records
+
+        assert [r.sequence for r in read_records(str(log.path))] == [3]
+
+    def test_legacy_unframed_format_is_unchanged(self, tmp_path):
+        db = Database()
+        log = enable_command_log(db, str(tmp_path / "c.log"))
+        db.execute("CREATE TABLE t (a INTEGER)")
+        line = log.path.read_text().strip()
+        crc, payload = line.split("\t", 1)
+        assert payload == "CREATE TABLE t (a INTEGER)"
+        assert not payload.startswith("r")

@@ -246,3 +246,88 @@ class TestRunLoop:
         assert "5" in text
         assert "never_reached" not in text
         assert shell.done
+
+
+class TestReplicationCommands:
+    """``\\replica status`` and ``\\promote`` against a real cluster."""
+
+    def make_cluster(self, tmp_path):
+        from repro.replication import Primary, Replica, ReplicationManager
+
+        primary = Primary(str(tmp_path / "primary.log"))
+        manager = ReplicationManager(primary, data_dir=str(tmp_path))
+        manager.add_replica(Replica("r1", str(tmp_path)))
+        manager.add_replica(Replica("r2", str(tmp_path)))
+        manager.step(2)
+        manager.execute("CREATE TABLE t (a INTEGER PRIMARY KEY)")
+        manager.step(2)
+        return manager
+
+    def run_cluster_lines(self, tmp_path, lines):
+        manager = self.make_cluster(tmp_path)
+        out = io.StringIO()
+        shell = Shell(cluster=manager, out=out)
+        for line in lines:
+            shell.feed_line(line)
+        return out.getvalue(), shell, manager
+
+    def test_replica_status_lists_every_node(self, tmp_path):
+        output, _, _ = self.run_cluster_lines(tmp_path, ["\\replica status"])
+        assert "primary" in output
+        assert "r1" in output and "r2" in output
+        assert "lag=0" in output
+
+    def test_promote_switches_primary_and_shell_db(self, tmp_path):
+        output, shell, manager = self.run_cluster_lines(
+            tmp_path, ["\\promote r1", "SELECT a FROM t;"]
+        )
+        assert "promoted r1 to primary (epoch 2)" in output
+        assert manager.primary.name == "r1"
+        assert shell.db is manager.primary.db
+        assert "(0 row(s))" in output  # reads now served by the new primary
+
+    def test_promote_error_messages_are_one_line(self, tmp_path):
+        output, _, _ = self.run_cluster_lines(
+            tmp_path, ["\\promote ghost", "\\promote r1", "\\promote r1"]
+        )
+        assert "error: no such replica: ghost" in output
+        assert "error: r1 is already the primary" in output
+
+    def test_promote_quarantined_replica_refused(self, tmp_path):
+        manager = self.make_cluster(tmp_path)
+        manager.replicas["r1"].quarantined = True
+        out = io.StringIO()
+        shell = Shell(cluster=manager, out=out)
+        shell.feed_line("\\promote r1")
+        assert "error: r1 is quarantined" in out.getvalue()
+
+    def test_statements_route_through_semi_sync_commit(self, tmp_path):
+        """A write at the prompt is acked by a replica before the shell
+        prints ``ok`` — so promoting immediately after never loses it."""
+        output, shell, manager = self.run_cluster_lines(
+            tmp_path,
+            [
+                "INSERT INTO t VALUES (7);",
+                "\\promote r1",
+                "SELECT a FROM t;",
+            ],
+        )
+        assert "ok (1 row(s) affected)" in output
+        assert "promoted r1 to primary (epoch 2)" in output
+        assert "(1 row(s))" in output
+        rows = manager.primary.db.execute("SELECT a FROM t").rows
+        assert rows == [(7,)]
+
+    def test_replica_usage_line(self, tmp_path):
+        output, _, _ = self.run_cluster_lines(tmp_path, ["\\replica"])
+        assert "usage: \\replica status" in output
+
+    def test_without_cluster_commands_degrade_gracefully(self):
+        output, shell = run_lines(["\\replica status", "\\promote r1"])
+        assert output.count("error: replication is not configured") == 2
+        assert not shell.done
+
+    def test_help_mentions_replication_commands(self):
+        output, _ = run_lines([".help"])
+        assert "\\replica status" in output
+        assert "\\promote" in output
