@@ -32,7 +32,7 @@ from repro.bench import (
     format_series,
 )
 
-from .conftest import emit
+from .conftest import emit, emit_json, series_to_rows
 
 SELECTIVITIES = [5, 10, 20, 30, 50]
 BUDGET_SECONDS = 8.0
@@ -118,5 +118,6 @@ def test_fig10_triangle_counting(
         + "\n\n"
         + format_ascii_chart(title, "selectivity %", series),
     )
+    emit_json(SUBFIGURES[name], series_to_rows(SUBFIGURES[name], series))
 
     benchmark(lambda: grfusion_triangle_count(db, view_name, 5))

@@ -31,7 +31,7 @@ from repro.bench import (
     reachability_pairs,
 )
 
-from .conftest import emit
+from .conftest import emit, emit_json, series_to_rows
 
 PATH_LENGTHS = [2, 4, 6, 8, 10]
 QUERIES_PER_LENGTH = 3
@@ -128,6 +128,7 @@ def test_fig7_reachability(name, benchmark, datasets, grfusion, sqlgraph, graphd
         + "\n\n"
         + format_ascii_chart(title, "path length", series),
     )
+    emit_json(SUBFIGURES[name], series_to_rows(SUBFIGURES[name], series))
 
     # sanity on the paper's headline claims at this scale
     grfusion_points = dict(series["grfusion"])

@@ -36,7 +36,7 @@ from repro.bench import (
 )
 from repro.bench.workloads import selectivity_edge_filter
 
-from .conftest import emit
+from .conftest import emit, emit_json, series_to_rows
 
 SELECTIVITIES = [5, 10, 20, 30, 50]
 PATH_LENGTH = 4
@@ -133,6 +133,7 @@ def test_fig8_constrained_reachability(
         + "\n\n"
         + format_ascii_chart(title, "selectivity %", series),
     )
+    emit_json(SUBFIGURES[name], series_to_rows(SUBFIGURES[name], series))
 
     # headline: one constrained GRFusion query at 20% selectivity
     pairs = reachability_pairs(

@@ -33,7 +33,7 @@ from repro.bench import (
     format_series,
 )
 
-from .conftest import emit
+from .conftest import emit, emit_json, series_to_rows
 
 QUERIES = 3
 BUDGET_SECONDS = 5.0
@@ -130,6 +130,7 @@ def test_fig9_shortest_paths(
         + "\n\n"
         + format_ascii_chart(title, "hop distance", series),
     )
+    emit_json(SUBFIGURES[name], series_to_rows(SUBFIGURES[name], series))
 
     pairs = connected_pairs(dataset, 1, seed=91, min_distance=3, max_distance=6)
     if pairs:

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Assert the always-on observability layer stays off the hot path.
+
+Runs a fixed query workload twice per round — once with metrics
+recording enabled, once disabled (``repro.observability.set_enabled``) —
+interleaved to cancel thermal / allocator drift, and compares the
+medians across rounds. Tracing is never active (no EXPLAIN ANALYZE), so
+this measures exactly the cost budget the design promises: one
+``current_tracer() is None`` check per operator open, and per-statement
+(not per-row) registry updates.
+
+Fails (exit 1) if the enabled median exceeds the disabled median by more
+than ``MAX_OVERHEAD`` (10%) plus a small absolute slack that keeps the
+check stable on very fast machines where the workload is sub-millisecond
+noise. CI runs this in the ``observability`` job.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_observability_overhead.py
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+
+from repro import Database
+from repro.observability import metrics_enabled, set_enabled
+
+ROUNDS = 9
+QUERIES_PER_ROUND = 60
+MAX_OVERHEAD = 0.10  # the ISSUE's acceptance bound
+ABS_SLACK_MS = 2.0  # noise floor: ignore sub-2ms absolute deltas
+
+
+def build_database() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE V (id INTEGER PRIMARY KEY, name VARCHAR)")
+    db.execute(
+        "CREATE TABLE E (id INTEGER PRIMARY KEY, "
+        "src INTEGER, dst INTEGER, w FLOAT)"
+    )
+    vertex_count = 200
+    for i in range(vertex_count):
+        db.execute(f"INSERT INTO V VALUES ({i}, 'v{i}')")
+    edge_id = 0
+    for i in range(vertex_count):
+        for span in (1, 7):
+            j = (i + span) % vertex_count
+            db.execute(f"INSERT INTO E VALUES ({edge_id}, {i}, {j}, 1.0)")
+            edge_id += 1
+    db.execute(
+        "CREATE DIRECTED GRAPH VIEW G "
+        "VERTEXES(ID = id, name = name) FROM V "
+        "EDGES(ID = id, FROM = src, TO = dst, w = w) FROM E"
+    )
+    return db
+
+
+def run_workload(db: Database, reachability) -> None:
+    for query_index in range(QUERIES_PER_ROUND):
+        source = (query_index * 13) % 200
+        target = (source + 3) % 200
+        result = reachability.execute(source, target)
+        assert result.rows, "pair must be reachable"
+    db.execute("SELECT COUNT(*) FROM V WHERE id < 100")
+
+
+def measure(db: Database, reachability, enabled: bool) -> float:
+    set_enabled(enabled)
+    started = time.perf_counter()
+    run_workload(db, reachability)
+    return (time.perf_counter() - started) * 1000.0
+
+
+def main() -> int:
+    original = metrics_enabled()
+    db = build_database()
+    reachability = db.prepare(
+        "SELECT PS.PathString FROM G.Paths PS "
+        "WHERE PS.StartVertex.Id = ? AND PS.EndVertex.Id = ? LIMIT 1"
+    )
+    # warm-up: JIT-free Python still benefits from touching code paths
+    run_workload(db, reachability)
+    enabled_ms = []
+    disabled_ms = []
+    try:
+        for round_index in range(ROUNDS):
+            # alternate order within the round to cancel drift
+            if round_index % 2 == 0:
+                enabled_ms.append(measure(db, reachability, True))
+                disabled_ms.append(measure(db, reachability, False))
+            else:
+                disabled_ms.append(measure(db, reachability, False))
+                enabled_ms.append(measure(db, reachability, True))
+    finally:
+        set_enabled(original)
+    enabled_median = statistics.median(enabled_ms)
+    disabled_median = statistics.median(disabled_ms)
+    delta_ms = enabled_median - disabled_median
+    overhead = delta_ms / disabled_median if disabled_median else 0.0
+    print(
+        f"metrics enabled:  median {enabled_median:.2f} ms over "
+        f"{ROUNDS} rounds"
+    )
+    print(f"metrics disabled: median {disabled_median:.2f} ms")
+    print(f"delta: {delta_ms:+.2f} ms ({overhead:+.1%})")
+    if delta_ms > ABS_SLACK_MS and overhead > MAX_OVERHEAD:
+        print(
+            f"FAIL: observability overhead {overhead:.1%} exceeds "
+            f"{MAX_OVERHEAD:.0%} (and {delta_ms:.2f} ms > "
+            f"{ABS_SLACK_MS} ms slack)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: within the {MAX_OVERHEAD:.0%} budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

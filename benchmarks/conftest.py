@@ -15,6 +15,7 @@ orders of magnitude larger, see DESIGN.md substitutions).
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -96,3 +97,33 @@ def emit(target: str, text: str) -> None:
     (RESULTS_DIR / f"{target}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def series_to_rows(experiment, series):
+    """Flatten a benchmark's series dict into machine-readable rows.
+
+    One ``{experiment, system, param, mean_ms}`` dict per measured cell
+    (``mean_ms`` is ``None`` for DNF cells, which also carry a
+    ``dnf_reason``) — the schema of the ``BENCH_*.json`` artifacts.
+    """
+    rows = []
+    for system, points in series.items():
+        for param, measurement in points:
+            row = {
+                "experiment": experiment,
+                "system": system,
+                "param": param,
+                "mean_ms": measurement.milliseconds(),
+            }
+            if not measurement.finished:
+                row["dnf_reason"] = measurement.dnf_reason
+            rows.append(row)
+    return rows
+
+
+def emit_json(target: str, rows) -> None:
+    """Persist machine-readable benchmark rows as results/<target>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{target}.json").write_text(
+        json.dumps(rows, indent=2) + "\n"
+    )

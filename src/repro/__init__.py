@@ -56,6 +56,12 @@ from .errors import (
     TransactionError,
     TypeMismatchError,
 )
+from .observability import (
+    MetricsRegistry,
+    QueryTracer,
+    SlowQueryLog,
+    get_registry,
+)
 from .planner.options import PlannerOptions
 from .types import SqlType
 
@@ -68,6 +74,10 @@ __all__ = [
     "PlannerOptions",
     "QueryBudget",
     "CancellationToken",
+    "MetricsRegistry",
+    "QueryTracer",
+    "SlowQueryLog",
+    "get_registry",
     "SqlType",
     "DatabaseError",
     "SqlSyntaxError",

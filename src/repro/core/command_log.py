@@ -69,11 +69,13 @@ from __future__ import annotations
 import os
 import pathlib
 import re
+import time
 import warnings
 import zlib
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from ..errors import RecoveryError
+from ..observability.metrics import recording_registry
 from ..sql.parser import parse_statement
 from .database import WRITE_STATEMENT_TYPES, Database
 
@@ -293,9 +295,20 @@ class _LogFile:
         self._fsync()
 
     def _fsync(self) -> None:
+        started = time.perf_counter()
         os.fsync(self._handle.fileno())
         self.fsync_count += 1
         self._unsynced_batches = 0
+        registry = recording_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_commandlog_fsyncs_total",
+                help="Command-log fsync() calls issued.",
+            ).inc()
+            registry.histogram(
+                "repro_commandlog_fsync_ms",
+                help="Command-log fsync() latency in milliseconds.",
+            ).observe((time.perf_counter() - started) * 1000.0)
 
     def truncate(self) -> None:
         self._handle.flush()

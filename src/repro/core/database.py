@@ -23,6 +23,7 @@ topology changes) are rolled back.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import budget as budget_module
@@ -31,11 +32,17 @@ from ..errors import (
     CatalogError,
     ExecutionError,
     PlanningError,
+    QueryCancelledError,
     ReadOnlyError,
+    ResourceExhaustedError,
 )
 from ..expr.compile import ExpressionCompiler
 from ..expr.scope import RelationBinding, Scope
 from ..graph.graph_view import GraphView, build_graph_view
+from ..observability import tracer as tracer_module
+from ..observability.metrics import recording_registry
+from ..observability.slowlog import SlowQueryLog
+from ..observability.tracer import QueryTracer
 from ..planner.options import PlannerOptions
 from ..planner.rewrite import find_relational_aggregates
 from ..planner.select_planner import PlannedQuery, SelectPlanner
@@ -90,6 +97,9 @@ class Database:
         self.role = "standalone"
         self._replica_apply_depth = 0
         self._undo_listener = UndoListener(self.transactions)
+        #: Bounded log of statements slower than the configured
+        #: threshold (off until :meth:`set_slow_query_threshold`).
+        self.slow_queries = SlowQueryLog()
 
     # ------------------------------------------------------------------
     # public API
@@ -161,11 +171,62 @@ class Database:
         implicit transaction back to a consistent state.
         """
         statement = parse_statement(sql)
-        token = self._start_token(budget)
-        if token is None:
-            return self._execute_statement(statement)
-        with budget_module.activate(token):
-            return self._execute_statement(statement, token)
+        kind = type(statement).__name__
+        started = time.perf_counter()
+        try:
+            token = self._start_token(budget)
+            if token is None:
+                result = self._execute_statement(statement)
+            else:
+                with budget_module.activate(token):
+                    result = self._execute_statement(statement, token)
+        except (ResourceExhaustedError, QueryCancelledError) as exc:
+            self._record_statement_abort(kind, exc)
+            raise
+        self._record_statement(sql, kind, started, result)
+        return result
+
+    def set_slow_query_threshold(self, threshold_ms: Optional[float]) -> None:
+        """Record statements slower than ``threshold_ms`` in
+        :attr:`slow_queries` (``None`` disables the log)."""
+        self.slow_queries.set_threshold(threshold_ms)
+
+    def _record_statement(
+        self, sql: str, kind: str, started: float, result: ResultSet
+    ) -> None:
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        registry = recording_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_statements_total",
+                help="Statements executed, by AST kind.",
+                kind=kind,
+            ).inc()
+            registry.histogram(
+                "repro_statement_duration_ms",
+                help="End-to-end statement latency in milliseconds.",
+            ).observe(elapsed_ms)
+        rows = len(result.rows) if result.rows else 0
+        if self.slow_queries.observe(sql, elapsed_ms, rows, kind):
+            if registry is not None:
+                registry.counter(
+                    "repro_slow_queries_total",
+                    help="Statements recorded by the slow-query log.",
+                ).inc()
+
+    def _record_statement_abort(self, kind: str, exc: BaseException) -> None:
+        cause = type(exc).__name__
+        registry = recording_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_statement_aborts_total",
+                help="Statements aborted by the resource governor.",
+                cause=cause,
+                kind=kind,
+            ).inc()
+        tracer = tracer_module.current_tracer()
+        if tracer is not None:
+            tracer.record_abort(f"{cause}: {exc}")
 
     def execute_script(
         self, sql: str, budget: Optional[QueryBudget] = None
@@ -243,12 +304,74 @@ class Database:
             # where it would govern unrelated statements
             budget_module.deactivate(token)
 
-    def explain(self, sql: str) -> str:
-        """The physical plan of a SELECT, one operator per line."""
+    def explain(
+        self,
+        sql: str,
+        analyze: bool = False,
+        budget: Optional[QueryBudget] = None,
+    ) -> str:
+        """The physical plan of a SELECT, one operator per line.
+
+        With ``analyze=True`` (or an ``EXPLAIN ANALYZE ...`` statement)
+        the query is actually executed under a
+        :class:`~repro.observability.tracer.QueryTracer` and every plan
+        node is annotated with its actual row count, ``next()`` calls,
+        restarts and inclusive elapsed time; traversal scans additionally
+        report paths/vertices/edges visited and the frontier peak. A
+        leading ``EXPLAIN [ANALYZE]`` in ``sql`` itself is accepted and
+        unwrapped, so ``db.explain("EXPLAIN ANALYZE SELECT ...")`` and
+        ``db.explain("SELECT ...", analyze=True)`` are equivalent.
+        """
         statement = parse_statement(sql)
+        if isinstance(statement, ast.Explain):
+            analyze = analyze or statement.analyze
+            statement = statement.statement
+        return self._explain_statement(statement, analyze, budget)
+
+    def _explain_statement(
+        self,
+        statement: ast.Statement,
+        analyze: bool,
+        budget: Optional[QueryBudget] = None,
+    ) -> str:
         if not isinstance(statement, ast.Select):
-            raise PlanningError("EXPLAIN is only supported for SELECT")
-        return self._plan_select(statement).explain()
+            raise PlanningError(
+                "EXPLAIN is only supported for SELECT "
+                f"(got {type(statement).__name__})"
+            )
+        planned = self._plan_select(statement)
+        if not analyze:
+            return planned.explain()
+        return self._explain_analyze(planned, budget)
+
+    def _explain_analyze(
+        self, planned: PlannedQuery, budget: Optional[QueryBudget]
+    ) -> str:
+        """Execute ``planned`` under a tracer; render the annotated plan."""
+        tracer = QueryTracer()
+        token = self._start_token(budget)
+        started = time.perf_counter()
+        row_count = 0
+        try:
+            with tracer_module.activate(tracer):
+                if token is None:
+                    for _row in planned.operator:
+                        row_count += 1
+                else:
+                    with budget_module.activate(token):
+                        for _row in planned.operator:
+                            token.tick_rows()
+                            row_count += 1
+        except (ResourceExhaustedError, QueryCancelledError) as exc:
+            # the partial actuals are the interesting part of an aborted
+            # run, so render them instead of re-raising
+            tracer.record_abort(f"{type(exc).__name__}: {exc}")
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        lines = [tracer.annotate(planned.operator)]
+        lines.append(f"Execution: {row_count} row(s) in {elapsed_ms:.2f} ms")
+        if tracer.abort_cause is not None:
+            lines.append(f"Aborted: {tracer.abort_cause}")
+        return "\n".join(lines)
 
     def begin(self) -> None:
         """Open an explicit transaction."""
@@ -358,6 +481,11 @@ class Database:
             raise ReadOnlyError(
                 f"{type(statement).__name__} rejected: this database is a "
                 "read-only replica (writes go to the primary)"
+            )
+        if isinstance(statement, ast.Explain):
+            text = self._explain_statement(statement.statement, statement.analyze)
+            return ResultSet(
+                ["QUERY PLAN"], [(line,) for line in text.splitlines()]
             )
         if isinstance(statement, ast.Select):
             return self._plan_and_run_select(statement, token)

@@ -26,10 +26,12 @@ unverified, for compatibility.
 from __future__ import annotations
 
 import json
+import time
 import zlib
 from typing import Any, Dict, List, Optional
 
 from ..errors import RecoveryError
+from ..observability.metrics import recording_registry
 from ..graph.graph_view import ExtraAttributeSource, GraphView
 from ..sql.render import render_select
 from ..storage.index import HashIndex, OrderedIndex
@@ -221,9 +223,25 @@ def save_snapshot(
     replication: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Write the database to ``path`` as a JSON snapshot."""
+    started = time.perf_counter()
     document = snapshot_to_dict(database, replication=replication)
     with open(path, "w") as handle:
         json.dump(document, handle)
+        handle.flush()
+        size_bytes = handle.tell()
+    registry = recording_registry()
+    if registry is not None:
+        registry.counter(
+            "repro_snapshot_saves_total", help="Snapshots written."
+        ).inc()
+        registry.histogram(
+            "repro_snapshot_save_ms",
+            help="Snapshot write latency in milliseconds.",
+        ).observe((time.perf_counter() - started) * 1000.0)
+        registry.gauge(
+            "repro_snapshot_bytes",
+            help="Size of the most recently written snapshot.",
+        ).set(size_bytes)
 
 
 def restore_into(document: Dict[str, Any], database: Database) -> Database:
@@ -270,6 +288,7 @@ def load_snapshot(path: str, database: Database = None) -> Database:
     valid JSON, is structurally not a snapshot, has a version this
     engine does not understand, or fails checksum verification.
     """
+    started = time.perf_counter()
     try:
         with open(path) as handle:
             document = json.load(handle)
@@ -278,4 +297,14 @@ def load_snapshot(path: str, database: Database = None) -> Database:
             f"{path}: snapshot is not valid JSON ({error})"
         ) from error
     verify_snapshot_document(document, source=str(path))
-    return restore_into(document, database or Database())
+    restored = restore_into(document, database or Database())
+    registry = recording_registry()
+    if registry is not None:
+        registry.counter(
+            "repro_snapshot_loads_total", help="Snapshots restored."
+        ).inc()
+        registry.histogram(
+            "repro_snapshot_load_ms",
+            help="Snapshot restore latency in milliseconds.",
+        ).observe((time.perf_counter() - started) * 1000.0)
+    return restored

@@ -50,7 +50,7 @@ class AggregateOp(Operator):
         self.group_expressions = list(group_expressions)
         self.aggregates = list(aggregates)
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         group_fns = [g.fn for g in self.group_expressions]
         groups: dict = {}
         order: List[Any] = []
@@ -131,7 +131,7 @@ class SortOp(Operator):
         self.child = child
         self.keys = list(keys)  # (expression, ascending)
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         rows = list(self.child)
         # stable multi-key sort: apply keys right-to-left
         for expression, ascending in reversed(self.keys):

@@ -41,7 +41,7 @@ class NestedLoopJoinOp(Operator):
         self.predicate = predicate
         self.left_outer = left_outer
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         inner_rows = list(self.right)
         predicate = self.predicate.fn if self.predicate is not None else None
         token = current_token()
@@ -89,7 +89,7 @@ class HashJoinOp(Operator):
         self.residual = residual
         self.left_outer = left_outer
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         buckets: dict = {}
         right_fns = [k.fn for k in self.right_keys]
         token = current_token()
@@ -143,7 +143,7 @@ class ProbeJoinOp(Operator):
         self.label = label
         self.residual = residual
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         residual = self.residual.fn if self.residual is not None else None
         token = current_token()
         for outer in self.outer:

@@ -5,6 +5,13 @@ captures the ambient :class:`~repro.budget.CancellationToken` at
 iteration start and ticks it per row — the cooperative check points of
 the resource governor. Without a budget this costs one ``None`` check
 per row.
+
+Tracing follows the same ambient pattern one level up: the shared
+``Operator.__iter__`` checks for an active
+:class:`~repro.observability.tracer.QueryTracer` once per iteration
+start and, when none is installed (the normal case), returns the
+subclass's raw ``_rows()`` generator untouched — EXPLAIN ANALYZE pays
+for per-operator metering only while it runs.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence
 
 from ..budget import current_token
 from ..expr.compile import CompiledExpression
+from ..observability.tracer import current_tracer
 from ..storage.index import Index
 from ..storage.table import Table
 
@@ -22,12 +30,21 @@ Row = List[Any]
 class Operator:
     """Base class: an operator is a restartable iterable of combined rows.
 
-    ``__iter__`` may be called more than once (e.g. as the inner side of
-    a nested-loop join); implementations must build a fresh iterator per
-    call.
+    Subclasses implement :meth:`_rows`; it may be called more than once
+    (e.g. as the inner side of a nested-loop join) and must build a
+    fresh iterator per call. ``__iter__`` is shared: it is the tracing
+    hook — one ambient check when tracing is off, a metering wrapper
+    (rows, ``next()`` calls, loops, inclusive time) when a tracer is
+    active.
     """
 
     def __iter__(self) -> Iterator[Row]:
+        tracer = current_tracer()
+        if tracer is None:
+            return self._rows()
+        return tracer.wrap(self, self._rows())
+
+    def _rows(self) -> Iterator[Row]:
         raise NotImplementedError
 
     def explain(self, indent: int = 0) -> str:
@@ -53,7 +70,7 @@ class SeqScanOp(Operator):
         self.slot = slot
         self.width = width
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         slot, width = self.slot, self.width
         token = current_token()
         for _slot_number, stored in self.table.scan():
@@ -89,7 +106,7 @@ class IndexLookupOp(Operator):
         self.slot = slot
         self.width = width
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         key = self.key() if callable(self.key) else self.key
         for slot_number in self.index.lookup(key):
             row: Row = [None] * self.width
@@ -128,7 +145,7 @@ class IndexRangeScanOp(Operator):
         self.slot = slot
         self.width = width
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         low = self.low() if callable(self.low) else self.low
         high = self.high() if callable(self.high) else self.high
         if (self.low is not None and low is None) or (
@@ -163,7 +180,7 @@ class SingleRowOp(Operator):
     def __init__(self, width: int):
         self.width = width
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         yield [None] * self.width
 
     def describe(self) -> str:
@@ -177,7 +194,7 @@ class FilterOp(Operator):
         self.child = child
         self.predicate = predicate
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         predicate = self.predicate.fn
         for row in self.child:
             if predicate(row) is True:
@@ -199,7 +216,7 @@ class ProjectOp(Operator):
         self.child = child
         self.expressions = list(expressions)
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         fns = [e.fn for e in self.expressions]
         for row in self.child:
             yield [fn(row) for fn in fns]
@@ -224,7 +241,7 @@ class LimitOp(Operator):
         self.limit = limit
         self.offset = offset or 0
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         if self.limit is not None and self.limit <= 0:
             return
         produced = 0
@@ -258,7 +275,7 @@ class DistinctOp(Operator):
     def __init__(self, child: Operator):
         self.child = child
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         seen = set()
         for row in self.child:
             key = tuple(_hashable(v) for v in row)
@@ -287,7 +304,7 @@ class DerivedTableOp(Operator):
         self.width = width
         self.label = label
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         slot, width = self.slot, self.width
         token = current_token()
         for values in self.subplan:
@@ -311,7 +328,7 @@ class CallbackScanOp(Operator):
         self.factory = factory
         self.label = label
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         return self.factory()
 
     def describe(self) -> str:

@@ -18,6 +18,7 @@ from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
 from ..budget import current_token
 from ..errors import PlanningError
 from ..executor.operators import Operator, Row
+from ..observability.tracer import current_tracer
 from .graph_view import GraphView
 from .traversal import (
     TraversalSpec,
@@ -36,7 +37,7 @@ class VertexScanOp(Operator):
         self.slot = slot
         self.width = width
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         slot, width = self.slot, self.width
         token = current_token()
         for vertex in self.view.iter_vertices():
@@ -64,7 +65,7 @@ class VertexLookupOp(Operator):
         self.slot = slot
         self.width = width
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         key = self.key() if callable(self.key) else self.key
         vertex = self.view.find_vertex(key)
         if vertex is not None:
@@ -85,7 +86,7 @@ class EdgeLookupOp(Operator):
         self.slot = slot
         self.width = width
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         key = self.key() if callable(self.key) else self.key
         edge = self.view.topology.edges.get(key)
         if edge is not None:
@@ -105,7 +106,7 @@ class EdgeScanOp(Operator):
         self.slot = slot
         self.width = width
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         slot, width = self.slot, self.width
         token = current_token()
         for edge in self.view.iter_edges():
@@ -175,10 +176,11 @@ class PathScanSourceOp(Operator):
         self.max_paths_per_vertex = max_paths_per_vertex
         self.last_stats: Optional[TraversalStats] = None
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         slot, width = self.slot, self.width
         stats = TraversalStats()
         self.last_stats = stats
+        tracer = current_tracer()
         paths = run_traversal(
             self.view,
             self.mode,
@@ -188,10 +190,16 @@ class PathScanSourceOp(Operator):
             self.max_paths_per_vertex,
             stats,
         )
-        for path in paths:
-            row: Row = [None] * width
-            row[slot] = path
-            yield row
+        try:
+            for path in paths:
+                row: Row = [None] * width
+                row[slot] = path
+                yield row
+        finally:
+            # fold the counters into this node's span even when the
+            # consumer stops early (LIMIT) or a budget aborts the scan
+            if tracer is not None:
+                tracer.record_traversal(self, self.describe(), self.mode, stats)
 
     def describe(self) -> str:
         return f"PathScan({self.view.name}, {self.mode})"
@@ -215,11 +223,15 @@ def make_path_probe_factory(
     ``PS.StartVertex.Id = U.uId`` (Listing 2).
     """
 
+    probe_label = f"PathScanProbe({view.name}, {mode})"
+
     def factory(outer_row: Row) -> Iterator[Row]:
         start_ids = start_ids_of(outer_row)
         if start_ids is not None and any(s is None for s in start_ids):
             return
         spec = spec_factory(outer_row)
+        tracer = current_tracer()
+        stats = TraversalStats() if tracer is not None else None
         paths = run_traversal(
             view,
             mode,
@@ -227,10 +239,18 @@ def make_path_probe_factory(
             spec,
             weight_of,
             max_paths_per_vertex,
+            stats,
         )
-        for path in paths:
-            row: Row = [None] * width
-            row[slot] = path
-            yield row
+        try:
+            for path in paths:
+                row: Row = [None] * width
+                row[slot] = path
+                yield row
+        finally:
+            # one traversal per outer row: the tracer aggregates the
+            # per-probe counters under this factory, and the annotator
+            # folds them into the enclosing ProbeJoin plan node
+            if tracer is not None:
+                tracer.record_traversal(factory, probe_label, mode, stats)
 
     return factory

@@ -179,12 +179,18 @@ class TraversalSpec:
 
 
 class TraversalStats:
-    """Counters collected by a scan (used by the memory ablation)."""
+    """Counters collected by a scan (memory ablation + EXPLAIN ANALYZE)."""
 
-    __slots__ = ("paths_emitted", "edges_examined", "peak_frontier")
+    __slots__ = (
+        "paths_emitted",
+        "vertices_visited",
+        "edges_examined",
+        "peak_frontier",
+    )
 
     def __init__(self):
         self.paths_emitted = 0
+        self.vertices_visited = 0
         self.edges_examined = 0
         self.peak_frontier = 0
 
@@ -195,6 +201,7 @@ class TraversalStats:
     def __repr__(self) -> str:
         return (
             f"TraversalStats(paths={self.paths_emitted}, "
+            f"vertices={self.vertices_visited}, "
             f"edges={self.edges_examined}, peak={self.peak_frontier})"
         )
 
@@ -257,12 +264,14 @@ def dfs_paths(
             single_edge_predicate = only_filter.predicate
             check_edges = False
     examined = 0
+    visited = 0
     peak = 0
     # resource governor: budgets abort runaway enumerations (a cyclic
     # graph with no length bound has a combinatorial path space)
     token = current_token()
     try:
         for start in _start_vertices(view, start_ids):
+            visited += 1
             if token is not None:
                 token.tick_vertex()
             if check_vertices and not spec.vertex_allowed(0, start):
@@ -364,6 +373,7 @@ def dfs_paths(
                 on_path.add(next_id)
                 sums_stack.append(new_sums)
                 depth += 1
+                visited += 1
                 if token is not None:
                     token.tick_vertex()
                 if depth >= min_length and (
@@ -385,6 +395,7 @@ def dfs_paths(
                     depth -= 1
     finally:
         stats.edges_examined += examined
+        stats.vertices_visited += visited
         stats.note_frontier(peak)
 
 
@@ -442,6 +453,7 @@ def _dfs_global(
         while stack:
             stats.note_frontier(len(stack))
             vertex, depth = stack.pop()
+            stats.vertices_visited += 1
             if token is not None:
                 token.tick_vertex()
             if depth >= min_length and depth > 0:
@@ -520,6 +532,7 @@ def bfs_paths(
     while queue:
         stats.note_frontier(len(queue))
         vertices, edges, sums, non_negative = queue.popleft()
+        stats.vertices_visited += 1
         if token is not None:
             token.tick_vertex()
         target = vertices[0].id if target_is_start else static_target
@@ -633,6 +646,7 @@ def _bfs_global(
     while queue:
         stats.note_frontier(len(queue))
         vertex, depth = queue.popleft()
+        stats.vertices_visited += 1
         if token is not None:
             token.tick_vertex()
         if depth >= min_length and depth > 0:
@@ -714,6 +728,7 @@ def shortest_paths(
     while heap:
         stats.note_frontier(len(heap))
         cost, _tiebreak, vertices, edges = heapq.heappop(heap)
+        stats.vertices_visited += 1
         if token is not None:
             token.tick_vertex()
         tail = vertices[-1]

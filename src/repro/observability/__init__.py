@@ -1,0 +1,48 @@
+"""Engine-wide observability: metrics registry, tracing, slow-query log.
+
+Three cooperating pieces:
+
+* :mod:`~repro.observability.metrics` — a process-wide
+  :class:`MetricsRegistry` (counters / gauges / fixed-bucket
+  histograms) updated at the engine's instrumentation seams and
+  rendered as Prometheus text or a JSON snapshot;
+* :mod:`~repro.observability.tracer` — a per-query :class:`QueryTracer`
+  hanging :class:`OperatorSpan` objects off the ambient execution
+  context (the same plumbing pattern as the query budget), powering
+  ``EXPLAIN ANALYZE``;
+* :mod:`~repro.observability.slowlog` — a per-database
+  :class:`SlowQueryLog` with a configurable latency threshold.
+
+See ``docs/observability.md`` for the full tour.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    recording_registry,
+    set_enabled,
+)
+from .slowlog import SlowQueryEntry, SlowQueryLog
+from .tracer import OperatorSpan, QueryTracer, current_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS_MS",
+    "get_registry",
+    "recording_registry",
+    "set_enabled",
+    "metrics_enabled",
+    "QueryTracer",
+    "OperatorSpan",
+    "current_tracer",
+    "SlowQueryLog",
+    "SlowQueryEntry",
+]

@@ -1,0 +1,70 @@
+"""Slow-query log: a bounded ring of statements over a latency threshold.
+
+Attached per :class:`~repro.core.database.Database`; disabled until a
+threshold is configured (``db.set_slow_query_threshold(ms)``), so the
+per-statement cost of the disabled path is one ``None`` comparison.
+Recorded entries also increment the ``repro_slow_queries_total`` counter
+in the process-wide metrics registry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+
+class SlowQueryEntry:
+    """One recorded slow statement."""
+
+    __slots__ = ("sql", "elapsed_ms", "rows", "kind")
+
+    def __init__(self, sql: str, elapsed_ms: float, rows: int, kind: str):
+        self.sql = sql
+        self.elapsed_ms = elapsed_ms
+        self.rows = rows
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        head = self.sql if len(self.sql) <= 60 else self.sql[:57] + "..."
+        return (
+            f"SlowQueryEntry({self.elapsed_ms:.1f} ms, {self.kind}, "
+            f"rows={self.rows}, {head!r})"
+        )
+
+
+class SlowQueryLog:
+    """Keeps the most recent ``capacity`` statements over the threshold."""
+
+    def __init__(
+        self,
+        threshold_ms: Optional[float] = None,
+        capacity: int = 64,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.threshold_ms = threshold_ms
+        self._entries: Deque[SlowQueryEntry] = deque(maxlen=capacity)
+
+    def set_threshold(self, threshold_ms: Optional[float]) -> None:
+        """Set (or clear, with ``None``) the recording threshold."""
+        if threshold_ms is not None and threshold_ms < 0:
+            raise ValueError("threshold_ms must be non-negative")
+        self.threshold_ms = threshold_ms
+
+    def observe(
+        self, sql: str, elapsed_ms: float, rows: int, kind: str
+    ) -> bool:
+        """Record the statement if it crossed the threshold."""
+        if self.threshold_ms is None or elapsed_ms < self.threshold_ms:
+            return False
+        self._entries.append(SlowQueryEntry(sql, elapsed_ms, rows, kind))
+        return True
+
+    def entries(self) -> List[SlowQueryEntry]:
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

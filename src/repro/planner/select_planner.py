@@ -1176,7 +1176,7 @@ class _EmptyPathOp(Operator):
         self.child = child
         self.width = width
 
-    def __iter__(self):
+    def _rows(self):
         return iter(())
 
     def describe(self) -> str:

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional
 
 from ..core.database import WRITE_STATEMENT_TYPES
 from ..errors import ReplicationError
+from ..observability.metrics import recording_registry
 from ..sql.parser import parse_statement
 from .fault_injection import FaultInjector
 from .primary import Primary
@@ -119,6 +120,8 @@ class ReplicationManager:
                 replica.pump(self.tick)
             self._detect_primary_failure()
             self._handle_reconnects()
+        if recording_registry() is not None:
+            self.status()  # refreshes the replication lag/sequence gauges
 
     # ------------------------------------------------------------------
     # client API
@@ -305,26 +308,32 @@ class ReplicationManager:
 
     def status(self) -> List[dict]:
         """One row per node, primary first — the ``\\replica status``
-        shell command renders exactly this."""
+        shell command renders exactly this. Per-replica rows also carry
+        ``acked`` (highest sequence the primary saw acknowledged) and
+        ``shipped`` (the primary's log head the replica is chasing)."""
         primary = self.primary
+        shipped = primary.log.last_sequence
         rows = [
             {
                 "node": primary.name,
                 "role": "primary",
                 "epoch": primary.epoch,
-                "sequence": primary.log.last_sequence,
+                "sequence": shipped,
                 "lag": 0,
+                "acked": shipped,
+                "shipped": shipped,
                 "state": "down" if primary.crashed else "up",
             }
         ]
         for name in sorted(self.replicas):
             replica = self.replicas[name]
             link = primary.links.get(name)
-            lag = (
-                primary.log.last_sequence - link.acked_sequence
+            acked = (
+                link.acked_sequence
                 if link is not None
-                else replica.lag
+                else replica.applied_sequence
             )
+            lag = shipped - acked if link is not None else replica.lag
             rows.append(
                 {
                     "node": name,
@@ -332,6 +341,8 @@ class ReplicationManager:
                     "epoch": replica.epoch,
                     "sequence": replica.applied_sequence,
                     "lag": max(0, lag),
+                    "acked": acked,
+                    "shipped": shipped,
                     "state": (
                         "down"
                         if replica.crashed
@@ -339,7 +350,29 @@ class ReplicationManager:
                     ),
                 }
             )
+        self._update_gauges(rows)
         return rows
+
+    def _update_gauges(self, rows: List[dict]) -> None:
+        """Mirror the status rows into the process-wide metrics registry."""
+        registry = recording_registry()
+        if registry is None:
+            return
+        registry.gauge(
+            "repro_replication_shipped_sequence",
+            help="The primary's command-log head (last shipped sequence).",
+        ).set(rows[0]["shipped"])
+        for row in rows[1:]:
+            registry.gauge(
+                "repro_replication_lag",
+                help="Statements shipped but not yet acknowledged, per replica.",
+                replica=row["node"],
+            ).set(row["lag"])
+            registry.gauge(
+                "repro_replication_acked_sequence",
+                help="Highest acknowledged sequence, per replica.",
+                replica=row["node"],
+            ).set(row["acked"])
 
     def __repr__(self) -> str:
         return (

@@ -1,7 +1,10 @@
 """Interactive SQL shell: ``python -m repro.shell``.
 
 A small REPL over one :class:`~repro.core.database.Database` instance.
-Statements end with ``;`` and may span lines. Dot-commands:
+Statements end with ``;`` and may span lines — ``EXPLAIN [ANALYZE]
+SELECT ...;`` runs like any other statement. Meta-commands start with
+``.`` or ``\\``; the two prefixes are interchangeable (``.help`` and
+``\\help`` are the same command):
 
 ====================  ====================================================
 ``.help``             this text
@@ -12,8 +15,13 @@ Statements end with ``;`` and may span lines. Dot-commands:
 ``.run FILE``         execute a ``;``-separated SQL script from a file
 ``\\timeout MS``       abort statements running longer than MS milliseconds
                       (``\\timeout off`` clears; ``\\timeout`` shows current)
+``\\metrics [FILTER]`` engine metrics (Prometheus text format), optionally
+                      only names containing FILTER
+``\\slow [MS|off]``    set the slow-query threshold, or (no argument) list
+                      the statements recorded over it
 ``\\replica status``   one line per cluster node: role, epoch, applied
-                      sequence, lag, state (needs an attached cluster)
+                      sequence, lag, acked/shipped positions, state
+                      (needs an attached cluster)
 ``\\promote [NAME]``   fail over to replica NAME (or the most caught-up
                       healthy replica); the old primary is fenced
 ``.quit``             exit
@@ -34,11 +42,12 @@ from .budget import QueryBudget
 from .core.database import Database
 from .core.result import ResultSet
 from .errors import DatabaseError, ResourceExhaustedError, SqlSyntaxError
+from .observability.metrics import get_registry
 
 PROMPT = "repro> "
 CONTINUATION = "  ...> "
 
-_HELP = __doc__.split("Dot-commands:", 1)[1]
+_HELP = __doc__.split("same command):", 1)[1]
 
 
 def format_result(result: ResultSet, max_rows: int = 200) -> str:
@@ -105,11 +114,8 @@ class Shell:
     def feed_line(self, line: str) -> None:
         """Process one input line (may or may not complete a statement)."""
         stripped = line.strip()
-        if not self._buffer and stripped.startswith("."):
-            self._dot_command(stripped)
-            return
-        if not self._buffer and stripped.startswith("\\"):
-            self._meta_command(stripped)
+        if not self._buffer and stripped[:1] in (".", "\\"):
+            self._command(stripped)
             return
         if not stripped and not self._buffer:
             return
@@ -155,50 +161,79 @@ class Shell:
         return f"error: {message}"
 
     # ------------------------------------------------------------------
-    # dot commands
+    # meta-commands (``.name`` and ``\name`` are interchangeable)
     # ------------------------------------------------------------------
 
-    def _dot_command(self, line: str) -> None:
+    def _command(self, line: str) -> None:
         parts = line.split(None, 1)
-        command = parts[0].lower()
+        name = parts[0][1:].lower()
         argument = parts[1].strip() if len(parts) > 1 else ""
-        if command in (".quit", ".exit"):
+        if name in ("quit", "exit"):
             self.done = True
-        elif command == ".help":
+        elif name == "help":
             self.write(_HELP.strip())
-        elif command == ".tables":
+        elif name == "tables":
             self._list_objects()
-        elif command == ".schema":
+        elif name == "schema":
             self._show_schema(argument)
-        elif command == ".explain":
+        elif name == "explain":
             self._explain(argument)
-        elif command == ".timer":
+        elif name == "timer":
             if argument.lower() in ("on", "off"):
                 self.timer = argument.lower() == "on"
                 self.write(f"timer {'on' if self.timer else 'off'}")
             else:
                 self.write("usage: .timer on|off")
-        elif command == ".run":
+        elif name == "run":
             self._run_script(argument)
-        else:
-            self.write(f"unknown command {command} (try .help)")
-
-    # ------------------------------------------------------------------
-    # backslash meta commands
-    # ------------------------------------------------------------------
-
-    def _meta_command(self, line: str) -> None:
-        parts = line.split(None, 1)
-        command = parts[0].lower()
-        argument = parts[1].strip() if len(parts) > 1 else ""
-        if command == "\\timeout":
+        elif name == "timeout":
             self._set_timeout(argument)
-        elif command == "\\replica":
+        elif name == "metrics":
+            self._metrics(argument)
+        elif name == "slow":
+            self._slow(argument)
+        elif name == "replica":
             self._replica_command(argument)
-        elif command == "\\promote":
+        elif name == "promote":
             self._promote(argument)
         else:
-            self.write(f"unknown command {command} (try .help)")
+            self.write(f"unknown command {parts[0]} (try .help)")
+
+    def _metrics(self, argument: str) -> None:
+        """``\\metrics [FILTER]`` — dump the process-wide registry."""
+        text = get_registry().render_prometheus(argument or None)
+        self.write(text if text else "(no metrics recorded)")
+
+    def _slow(self, argument: str) -> None:
+        """``\\slow [MS|off]`` — configure or list the slow-query log."""
+        if argument:
+            if argument.lower() in ("off", "none"):
+                self.db.set_slow_query_threshold(None)
+                self.write("slow-query log off")
+                return
+            try:
+                ms = float(argument)
+                if ms < 0:
+                    raise ValueError
+            except ValueError:
+                self.write("usage: \\slow MS|off")
+                return
+            self.db.set_slow_query_threshold(ms)
+            self.write(f"slow-query threshold {ms:g} ms")
+            return
+        entries = self.db.slow_queries.entries()
+        if self.db.slow_queries.threshold_ms is None:
+            self.write("slow-query log off (set with \\slow MS)")
+            return
+        if not entries:
+            self.write("no slow queries recorded")
+            return
+        for entry in entries:
+            head = entry.sql if len(entry.sql) <= 60 else entry.sql[:57] + "..."
+            self.write(
+                f"  {entry.elapsed_ms:8.2f} ms  {entry.kind:<10} "
+                f"rows={entry.rows:<6} {head}"
+            )
 
     def _set_timeout(self, argument: str) -> None:
         """``\\timeout MS`` — session statement budget; ``off`` clears."""
@@ -240,7 +275,8 @@ class Shell:
         for row in rows:
             self.write(
                 f"  {row['node']:<12} {row['role']:<8} e{row['epoch']} "
-                f"seq={row['sequence']} lag={row['lag']} {row['state']}"
+                f"seq={row['sequence']} lag={row['lag']} "
+                f"acked={row['acked']} shipped={row['shipped']} {row['state']}"
             )
 
     def _promote(self, argument: str) -> None:

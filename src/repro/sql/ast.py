@@ -359,6 +359,22 @@ class SetOperation(Statement):
         self.all_rows = all_rows
 
 
+class Explain(Statement):
+    """``EXPLAIN [ANALYZE] statement``.
+
+    Plain ``EXPLAIN`` renders the physical plan; ``EXPLAIN ANALYZE``
+    additionally executes the statement under a
+    :class:`~repro.observability.tracer.QueryTracer` and annotates every
+    plan node with its actual row counts, timing and traversal stats.
+    Any statement parses here; planning rejects non-SELECTs with an
+    error naming the offending statement kind.
+    """
+
+    def __init__(self, statement: "Statement", analyze: bool = False):
+        self.statement = statement
+        self.analyze = analyze
+
+
 class ColumnDef(Node):
     def __init__(
         self,

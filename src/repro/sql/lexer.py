@@ -40,6 +40,7 @@ KEYWORDS = frozenset(
     TRUE FALSE
     COUNT SUM AVG MIN MAX
     UNION ALL CASE WHEN THEN ELSE END CAST
+    EXPLAIN ANALYZE
     """.split()
 )
 

@@ -111,6 +111,8 @@ class Parser:
     # ------------------------------------------------------------------
 
     def _parse_statement(self) -> ast.Statement:
+        if self._check_keyword("EXPLAIN"):
+            return self._parse_explain()
         if self._check_keyword("SELECT"):
             return self._parse_select_with_set_ops()
         if self._check_keyword("CREATE"):
@@ -128,6 +130,14 @@ class Parser:
         if self._check_keyword("ALTER"):
             return self._parse_alter()
         raise self._error("expected a statement")
+
+    def _parse_explain(self) -> ast.Explain:
+        self._expect(TokenType.KEYWORD, "EXPLAIN")
+        analyze = self._accept(TokenType.KEYWORD, "ANALYZE") is not None
+        if self._check_keyword("EXPLAIN"):
+            raise self._error("EXPLAIN cannot be nested")
+        statement = self._parse_statement()
+        return ast.Explain(statement, analyze)
 
     # -------------------------- CREATE --------------------------------
 
