@@ -1,0 +1,241 @@
+"""Server throughput — closed-loop clients against the wire protocol.
+
+Measures end-to-end latency (client -> TCP -> scheduler -> engine ->
+result frames -> client) for three workloads:
+
+* ``point_read``: primary-key SELECT (shared lock, concurrent);
+* ``write``: single-row INSERT (serialized through the single-writer
+  scheduler, so throughput should plateau as clients are added);
+* ``paths_2hop``: a two-hop graph traversal through ``G.Paths`` —
+  the paper's headline operator, over the wire.
+
+Each workload runs ``--duration`` seconds with ``--clients`` concurrent
+connections, every client its own socket. Emits mean/p50/p99 latency
+per workload and persists machine-readable rows to
+``benchmarks/results/BENCH_server.json`` in the standard
+``{experiment, system, param, mean_ms}`` schema.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_server_throughput.py \
+        --clients 8 --duration 30 --strict
+
+``--strict`` exits nonzero if any request failed — the CI gate for
+"zero protocol errors under sustained concurrency".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import threading
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.client import Client  # noqa: E402
+from repro.core.database import Database  # noqa: E402
+from repro.server import Server  # noqa: E402
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+GRAPH_VERTICES = 40
+
+
+def seed_database() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE KV (k INTEGER PRIMARY KEY, v INTEGER)")
+    db.execute(
+        "INSERT INTO KV VALUES "
+        + ", ".join(f"({i}, {i * 7})" for i in range(1000))
+    )
+    db.execute("CREATE TABLE Users (uId INTEGER PRIMARY KEY)")
+    db.execute(
+        "CREATE TABLE Rel (relId INTEGER PRIMARY KEY, "
+        "uId INTEGER, uId2 INTEGER)"
+    )
+    db.execute(
+        "INSERT INTO Users VALUES "
+        + ", ".join(f"({i})" for i in range(GRAPH_VERTICES))
+    )
+    edges = [
+        f"({i}, {i}, {(i + step) % GRAPH_VERTICES})"
+        for step in (1,)
+        for i in range(GRAPH_VERTICES)
+    ]
+    edges += [
+        f"({GRAPH_VERTICES + i}, {i}, {(i + 5) % GRAPH_VERTICES})"
+        for i in range(GRAPH_VERTICES)
+    ]
+    db.execute("INSERT INTO Rel VALUES " + ", ".join(edges))
+    db.execute(
+        "CREATE UNDIRECTED GRAPH VIEW G VERTEXES(ID = uId) FROM Users "
+        "EDGES(ID = relId, FROM = uId, TO = uId2) FROM Rel"
+    )
+    return db
+
+
+def make_statement(workload: str, client_index: int, i: int) -> str:
+    if workload == "point_read":
+        return f"SELECT v FROM KV WHERE k = {i % 1000}"
+    if workload == "write":
+        key = 10_000 + client_index * 10_000_000 + i
+        return f"INSERT INTO KV VALUES ({key}, {i})"
+    if workload == "paths_2hop":
+        start = (client_index * 7 + i) % GRAPH_VERTICES
+        return (
+            "SELECT PS.PathString FROM G.Paths PS "
+            f"WHERE PS.StartVertex = {start} AND PS.Length = 2"
+        )
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def run_workload(address, workload, clients, duration):
+    """Closed loop: each client thread issues the next request as soon
+    as the previous one completes. Returns (latencies_ms, errors)."""
+    latencies = [[] for _ in range(clients)]
+    errors = []
+    errors_lock = threading.Lock()
+    start_barrier = threading.Barrier(clients + 1)
+    deadline = [float("inf")]
+
+    def loop(index):
+        with Client(*address, session=f"bench-{workload}-{index}") as client:
+            start_barrier.wait()
+            i = 0
+            while time.monotonic() < deadline[0]:
+                sql = make_statement(workload, index, i)
+                begin = time.perf_counter()
+                try:
+                    client.execute(sql)
+                except Exception as error:  # noqa: BLE001 - tallied below
+                    with errors_lock:
+                        errors.append(f"{workload}: {error}")
+                else:
+                    latencies[index].append(
+                        (time.perf_counter() - begin) * 1000.0
+                    )
+                i += 1
+
+    threads = [
+        threading.Thread(target=loop, args=(index,))
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    # the deadline must be in place before the barrier releases the
+    # clients, or an early thread could read the placeholder value
+    deadline[0] = time.monotonic() + duration
+    start_barrier.wait()
+    for thread in threads:
+        thread.join()
+    flat = [ms for per_client in latencies for ms in per_client]
+    return flat, errors
+
+
+def percentile(sorted_values, q):
+    if not sorted_values:
+        return None
+    index = min(
+        len(sorted_values) - 1, int(q / 100.0 * len(sorted_values))
+    )
+    return sorted_values[index]
+
+
+def summarize(workload, clients, duration, latencies, errors):
+    ordered = sorted(latencies)
+    count = len(ordered)
+    return {
+        "experiment": "server_throughput",
+        "system": "repro_server",
+        "param": f"{workload}@{clients}",
+        "mean_ms": (sum(ordered) / count) if count else None,
+        "p50_ms": percentile(ordered, 50),
+        "p99_ms": percentile(ordered, 99),
+        "ops": count,
+        "ops_per_s": count / duration if duration else None,
+        "errors": len(errors),
+    }
+
+
+def run_benchmark(clients=4, duration=2.0, workloads=None):
+    workloads = workloads or ["point_read", "write", "paths_2hop"]
+    server = Server(seed_database()).start()
+    rows, all_errors = [], []
+    try:
+        for workload in workloads:
+            latencies, errors = run_workload(
+                server.address, workload, clients, duration
+            )
+            rows.append(
+                summarize(workload, clients, duration, latencies, errors)
+            )
+            all_errors.extend(errors)
+    finally:
+        server.shutdown(drain=True, timeout=30)
+    return rows, all_errors
+
+
+def format_rows(rows):
+    header = (
+        f"{'workload':<18} {'ops':>7} {'ops/s':>9} "
+        f"{'mean ms':>9} {'p50 ms':>9} {'p99 ms':>9} {'errors':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['param']:<18} {row['ops']:>7} "
+            f"{(row['ops_per_s'] or 0):>9.1f} "
+            f"{(row['mean_ms'] or 0):>9.3f} "
+            f"{(row['p50_ms'] or 0):>9.3f} "
+            f"{(row['p99_ms'] or 0):>9.3f} {row['errors']:>7}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Closed-loop throughput benchmark for the repro server."
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="seconds per workload")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero if any request errored")
+    args = parser.parse_args(argv)
+
+    rows, errors = run_benchmark(clients=args.clients,
+                                 duration=args.duration)
+    print(format_rows(rows))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_server.json"
+    out.write_text(json.dumps(rows, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    if errors:
+        print(f"\n{len(errors)} request error(s); first few:",
+              file=sys.stderr)
+        for line in errors[:5]:
+            print(f"  {line}", file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
+
+
+def test_server_throughput_smoke():
+    """Pytest entry: a short run must complete with zero errors and
+    produce sane latency rows for every workload."""
+    rows, errors = run_benchmark(clients=2, duration=0.5)
+    assert errors == []
+    assert {row["param"] for row in rows} == {
+        "point_read@2", "write@2", "paths_2hop@2",
+    }
+    for row in rows:
+        assert row["ops"] > 0, row
+        assert row["mean_ms"] is not None and row["mean_ms"] > 0
+        assert row["p99_ms"] >= row["p50_ms"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,104 @@
-"""``python -m repro`` starts the interactive SQL shell."""
+"""``python -m repro`` — the SQL shell, a network server, or a client.
 
-from .shell import main
+* no arguments: the in-process interactive shell;
+* ``--serve HOST:PORT``: serve a fresh database over the wire protocol
+  (``--auth TOKEN`` requires clients to present the token, and
+  ``--snapshot`` / ``--command-log`` recover state before listening);
+* ``--connect HOST:PORT``: the same shell, but every statement goes to
+  a remote server (``--auth TOKEN`` to authenticate).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Tuple
+
+
+def _address(value: str) -> Tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+
+
+def main(argv: Optional[list] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="In-memory relational engine with native graph views.",
+    )
+    parser.add_argument(
+        "--serve", metavar="HOST:PORT", type=_address, default=None,
+        help="serve a database over TCP instead of opening a shell",
+    )
+    parser.add_argument(
+        "--connect", metavar="HOST:PORT", type=_address, default=None,
+        help="open a shell against a remote server",
+    )
+    parser.add_argument(
+        "--auth", metavar="TOKEN", default=None,
+        help="shared secret: required of clients (--serve) "
+             "or presented to the server (--connect)",
+    )
+    parser.add_argument(
+        "--snapshot", metavar="FILE", default=None,
+        help="with --serve: restore this snapshot before listening",
+    )
+    parser.add_argument(
+        "--command-log", metavar="FILE", default=None,
+        help="with --serve: replay this command log before listening",
+    )
+    args = parser.parse_args(argv)
+    if args.serve and args.connect:
+        parser.error("--serve and --connect are mutually exclusive")
+    if args.serve:
+        _serve(args)
+    elif args.connect:
+        _connect(args)
+    else:
+        from .shell import Shell
+
+        Shell().run()
+
+
+def _serve(args) -> None:
+    from .core.database import Database
+    from .server import Server
+
+    host, port = args.serve
+    if args.snapshot or args.command_log:
+        db = Database.recover(
+            snapshot=args.snapshot, command_log=args.command_log
+        )
+    else:
+        db = Database()
+    server = Server(db, host=host, port=port, auth_token=args.auth).start()
+    bound_host, bound_port = server.address
+    print(f"repro server listening on {bound_host}:{bound_port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining...")
+        server.shutdown(drain=True)
+
+
+def _connect(args) -> None:
+    from .client import Client
+    from .errors import DatabaseError
+    from .shell import Shell
+
+    host, port = args.connect
+    try:
+        client = Client(host, port, auth=args.auth).connect()
+    except DatabaseError as error:
+        raise SystemExit(f"error: {error}")
+    try:
+        Shell(client=client).run()
+    finally:
+        client.close()
+
 
 if __name__ == "__main__":
     main()

@@ -21,10 +21,13 @@ mistaken query from taking the engine down:
   ``token.cancel()`` aborts from outside with
   :class:`~repro.errors.QueryCancelledError`.
 
-Execution is serial (single-partition, like the VoltDB substrate), so
-the active token is kept in a module-level stack: operators look it up
-once per iteration start via :func:`current_token` and pay one branch
-per row when no budget is configured.
+Statement execution is serial *per thread* (single-partition, like the
+VoltDB substrate), but the network server runs one session per thread
+with reads executing concurrently, so the active token is kept in a
+**thread-local** stack: operators look it up once per iteration start
+via :func:`current_token` and pay one branch per row when no budget is
+configured. Tokens never leak across threads — two sessions running
+budgeted queries concurrently each observe only their own token.
 
 Checks are amortized: resource counters compare on every tick (cheap
 integer compares, deterministic), the clock is read every
@@ -34,6 +37,7 @@ syscall per edge.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, List, Optional
 
@@ -242,9 +246,15 @@ class CancellationToken:
             )
 
     def tick(self, weight: int = 1) -> None:
-        """Generic progress tick with an amortized deadline check."""
+        """Generic progress tick with an amortized deadline check.
+
+        External cancellation (``token.cancel()`` — e.g. a client
+        disconnect observed by the server's reader thread) is honoured
+        on the *very next* tick: the cancelled flag is one attribute
+        test, so only the clock read is amortized.
+        """
         self._ticks += weight
-        if (self._ticks & _CHECK_MASK) == 0:
+        if self.cancelled or (self._ticks & _CHECK_MASK) == 0:
             self.check()
 
     # ---- counted resources -------------------------------------------
@@ -312,19 +322,39 @@ class CancellationToken:
 
 
 # ---------------------------------------------------------------------------
-# ambient token (serial execution model)
+# ambient token (thread-local: one stack per executing thread)
 # ---------------------------------------------------------------------------
 
-_TOKEN_STACK: List[CancellationToken] = []
+
+class _AmbientStack(threading.local):
+    """Per-thread stack of active tokens.
+
+    ``threading.local`` calls ``__init__`` once per thread, so every
+    thread (each server session, the single-writer executor, the main
+    thread) starts with its own empty stack and can never observe —
+    or pop — a token pushed by another thread.
+    """
+
+    def __init__(self):
+        self.items: List[CancellationToken] = []
+
+
+_AMBIENT = _AmbientStack()
+
+
+def _stack() -> List[CancellationToken]:
+    """This thread's token stack (tests introspect it)."""
+    return _AMBIENT.items
 
 
 def current_token() -> Optional[CancellationToken]:
-    """The token governing the innermost active statement (or None)."""
-    return _TOKEN_STACK[-1] if _TOKEN_STACK else None
+    """The token governing this thread's innermost statement (or None)."""
+    items = _AMBIENT.items
+    return items[-1] if items else None
 
 
 def deactivate(token: Optional[CancellationToken]) -> None:
-    """Remove every occurrence of ``token`` from the ambient stack.
+    """Remove every occurrence of ``token`` from this thread's stack.
 
     Backstop for lazy consumers: a generator that pushed ``token`` for
     the duration of a pull uses this in a ``finally`` so that closing
@@ -333,9 +363,10 @@ def deactivate(token: Optional[CancellationToken]) -> None:
     """
     if token is None:
         return
-    for index in range(len(_TOKEN_STACK) - 1, -1, -1):
-        if _TOKEN_STACK[index] is token:
-            del _TOKEN_STACK[index]
+    items = _AMBIENT.items
+    for index in range(len(items) - 1, -1, -1):
+        if items[index] is token:
+            del items[index]
 
 
 class activate:
@@ -352,12 +383,13 @@ class activate:
         self.token = token
 
     def __enter__(self) -> CancellationToken:
-        _TOKEN_STACK.append(self.token)
+        _AMBIENT.items.append(self.token)
         return self.token
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        for index in range(len(_TOKEN_STACK) - 1, -1, -1):
-            if _TOKEN_STACK[index] is self.token:
-                del _TOKEN_STACK[index]
+        items = _AMBIENT.items
+        for index in range(len(items) - 1, -1, -1):
+            if items[index] is self.token:
+                del items[index]
                 break
         return False

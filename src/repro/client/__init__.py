@@ -1,0 +1,5 @@
+"""Pure-Python client for the repro network server."""
+
+from .client import Client, Prepared
+
+__all__ = ["Client", "Prepared"]

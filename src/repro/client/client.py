@@ -1,0 +1,333 @@
+"""A pure-Python client for the repro wire protocol.
+
+::
+
+    from repro.client import Client
+
+    with Client("127.0.0.1", 7070) as client:
+        client.execute("INSERT INTO Users VALUES (1, 'ann')")
+        result = client.execute(
+            "SELECT PS.PathString FROM G.Paths PS WHERE PS.Length = 2")
+        for row in result.rows:
+            ...
+
+Server-side failures surface as :class:`~repro.errors.RemoteError`
+carrying the **stable** wire code (``error.code == "TIMEOUT"``,
+``"OVERLOADED"``, ``"READ_ONLY"``...); transport failures surface as
+:class:`~repro.errors.ClientConnectionError`.
+
+Reconnect policy (``reconnect=True``): when the connection drops the
+client transparently redials and retries **once** — but only for
+requests that are safe to repeat (SELECT / EXPLAIN statements, PING,
+METRICS, SET_BUDGET). A write whose frame may have reached the server
+is *never* retried: its outcome is unknown, and retrying could apply
+it twice; the caller gets :class:`ClientConnectionError` and decides.
+Prepared statements are re-prepared automatically after a reconnect.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.result import ResultSet
+from ..errors import ClientConnectionError, ProtocolError, RemoteError
+from ..server import protocol
+
+#: Statement prefixes that are safe to retry after a reconnect.
+_IDEMPOTENT_PREFIXES = ("SELECT", "EXPLAIN", "WITH")
+
+
+def _is_idempotent_sql(sql: str) -> bool:
+    return sql.lstrip().upper().startswith(_IDEMPOTENT_PREFIXES)
+
+
+class Prepared:
+    """A client-side handle to a server-side prepared statement."""
+
+    def __init__(self, client: "Client", sql: str, handle: str,
+                 params: int, columns: List[str]):
+        self._client = client
+        self.sql = sql
+        self.handle = handle
+        self.parameter_count = params
+        self.columns = columns
+
+    def execute(self, *params: Any,
+                budget: Optional[Dict[str, Any]] = None) -> ResultSet:
+        return self._client._execute_prepared(self, params, budget)
+
+    def __repr__(self) -> str:
+        return f"Prepared({self.sql!r}, handle={self.handle!r})"
+
+
+class Client:
+    """One connection to a repro server (thread-safe: one request at a
+    time, serialized by an internal lock)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        auth: Optional[str] = None,
+        session: Optional[str] = None,
+        timeout: Optional[float] = None,
+        connect_timeout: float = 5.0,
+        reconnect: bool = True,
+    ):
+        self.host = host
+        self.port = port
+        self.auth = auth
+        self.session = session
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.reconnect = reconnect
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+        self._next_id = 0
+        #: Server-assigned session name and role (from HELLO_OK).
+        self.session_name: Optional[str] = None
+        self.server_role: Optional[str] = None
+        #: Session budget, replayed after a reconnect.
+        self._budget: Optional[Dict[str, Any]] = None
+        #: Live Prepared handles, re-prepared after a reconnect.
+        self._prepared: List[Prepared] = []
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "Client":
+        with self._lock:
+            self._connect_locked()
+        return self
+
+    def _connect_locked(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except OSError as error:
+            raise ClientConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {error}"
+            )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(self.timeout)
+        hello: Dict[str, Any] = {
+            "type": "HELLO", "protocol": protocol.PROTOCOL_VERSION,
+        }
+        if self.auth is not None:
+            hello["auth"] = self.auth
+        if self.session is not None:
+            hello["session"] = self.session
+        try:
+            protocol.send_frame(sock, hello)
+            reply = protocol.read_frame(sock)
+        except (OSError, ProtocolError) as error:
+            sock.close()
+            raise ClientConnectionError(f"handshake failed: {error}")
+        if reply is None:
+            sock.close()
+            raise ClientConnectionError("server closed during handshake")
+        if reply.get("type") == "ERROR":
+            sock.close()
+            raise RemoteError(
+                reply.get("code", "INTERNAL_ERROR"),
+                reply.get("message", "handshake rejected"),
+            )
+        if reply.get("type") != "HELLO_OK":
+            sock.close()
+            raise ClientConnectionError(
+                f"unexpected handshake reply: {reply.get('type')!r}"
+            )
+        self._sock = sock
+        self.session_name = reply.get("session")
+        self.server_role = reply.get("role")
+        try:
+            self._restore_session_state()
+        except ClientConnectionError:
+            self._drop_connection()
+            raise
+
+    def _restore_session_state(self) -> None:
+        """Replay budget and prepared statements on the new connection.
+
+        Runs with ``self._lock`` already held (we are called from
+        ``_connect_locked``), so this must go straight to
+        ``_roundtrip_locked`` — re-entering ``_roundtrip`` would
+        deadlock on the non-reentrant request lock.
+        """
+        if self._budget is not None:
+            self._roundtrip_locked(
+                {"type": "SET_BUDGET", "budget": self._budget}, until=None
+            )
+        for prepared in self._prepared:
+            reply = self._roundtrip_locked(
+                {"type": "PREPARE", "sql": prepared.sql}, until=None
+            )[0]
+            prepared.handle = reply["statement"]
+
+    def close(self) -> None:
+        with self._lock:
+            sock = self._sock
+            self._sock = None
+            if sock is None:
+                return
+            try:
+                protocol.send_frame(sock, {"type": "CLOSE"})
+                protocol.read_frame(sock)  # GOODBYE (best effort)
+            except (OSError, ProtocolError):
+                pass
+            finally:
+                sock.close()
+
+    def __enter__(self) -> "Client":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str,
+                budget: Optional[Dict[str, Any]] = None) -> ResultSet:
+        """Run one statement; returns a real
+        :class:`~repro.core.result.ResultSet`."""
+        message: Dict[str, Any] = {"type": "QUERY", "sql": sql}
+        if budget is not None:
+            message["budget"] = budget
+        return self._collect_result(
+            message, retry=self.reconnect and _is_idempotent_sql(sql)
+        )
+
+    def prepare(self, sql: str) -> Prepared:
+        reply = self._request(
+            {"type": "PREPARE", "sql": sql}, retry=self.reconnect
+        )
+        prepared = Prepared(
+            self, sql, reply["statement"],
+            reply.get("params", 0), reply.get("columns", []),
+        )
+        self._prepared.append(prepared)
+        return prepared
+
+    def _execute_prepared(self, prepared: Prepared, params, budget) -> ResultSet:
+        message: Dict[str, Any] = {
+            "type": "EXECUTE",
+            "statement": prepared.handle,
+            "params": protocol.jsonable_row(params),
+        }
+        if budget is not None:
+            message["budget"] = budget
+        # prepared statements are SELECT-only, hence always retryable
+        return self._collect_result(message, retry=self.reconnect)
+
+    def set_budget(self, budget: Optional[Dict[str, Any]]) -> None:
+        """Install (or clear, with None) the session-level budget."""
+        self._request({"type": "SET_BUDGET", "budget": budget},
+                      retry=self.reconnect)
+        self._budget = budget
+
+    def ping(self) -> bool:
+        return self._request({"type": "PING"},
+                             retry=self.reconnect)["type"] == "PONG"
+
+    def metrics(self, filter: Optional[str] = None) -> str:
+        """The server's metrics in Prometheus text format."""
+        message: Dict[str, Any] = {"type": "METRICS"}
+        if filter is not None:
+            message["filter"] = filter
+        return self._request(message, retry=self.reconnect)["text"]
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+
+    def _collect_result(self, message, retry: bool) -> ResultSet:
+        frames = self._roundtrip(message, retry=retry, until="RESULT_END")
+        columns: List[str] = []
+        rows: List[Tuple] = []
+        rowcount = 0
+        for frame in frames:
+            kind = frame["type"]
+            if kind == "RESULT_HEAD":
+                columns = frame.get("columns", [])
+            elif kind == "ROWS":
+                rows.extend(tuple(row) for row in frame.get("rows", []))
+            elif kind == "RESULT_END":
+                rowcount = frame.get("rowcount", 0)
+        return ResultSet(columns or None, rows, rowcount=rowcount)
+
+    def _request(self, message, retry: bool) -> Dict[str, Any]:
+        """One request expecting exactly one reply frame."""
+        return self._roundtrip(message, retry=retry, until=None)[0]
+
+    def _roundtrip(self, message, retry: bool, until: Optional[str]):
+        with self._lock:
+            try:
+                return self._roundtrip_locked(message, until)
+            except ClientConnectionError:
+                self._drop_connection()
+                if not retry or not self.reconnect:
+                    raise
+            # the request never produced a reply and is safe to repeat:
+            # redial once and try again
+            self._connect_locked()
+            try:
+                return self._roundtrip_locked(message, until)
+            except ClientConnectionError:
+                self._drop_connection()
+                raise
+
+    def _roundtrip_locked(self, message, until: Optional[str]):
+        if self._sock is None:
+            if not self.reconnect:
+                raise ClientConnectionError("client is not connected")
+            self._connect_locked()
+        self._next_id += 1
+        message = dict(message)
+        message.setdefault("id", self._next_id)
+        try:
+            protocol.send_frame(self._sock, message)
+        except OSError as error:
+            raise ClientConnectionError(f"send failed: {error}")
+        frames = []
+        while True:
+            try:
+                frame = protocol.read_frame(self._sock)
+            except (OSError, ProtocolError, socket.timeout) as error:
+                raise ClientConnectionError(f"receive failed: {error}")
+            if frame is None:
+                raise ClientConnectionError(
+                    "server closed the connection mid-request"
+                )
+            if frame.get("type") == "ERROR":
+                raise RemoteError(
+                    frame.get("code", "INTERNAL_ERROR"),
+                    frame.get("message", "server error"),
+                )
+            frames.append(frame)
+            if until is None or frame.get("type") == until:
+                return frames
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __repr__(self) -> str:
+        state = "connected" if self.connected else "disconnected"
+        return f"Client({self.host}:{self.port}, {state})"

@@ -396,8 +396,8 @@ class CommandLog:
             for record in records:
                 self.on_record(record)
 
-    def _execute(self, sql: str, budget=None):
-        result = self._original_execute(sql, budget=budget)
+    def _execute(self, sql: str, budget=None, **kwargs):
+        result = self._original_execute(sql, budget=budget, **kwargs)
         if _is_loggable(sql):
             if self.database.transactions.in_transaction:
                 self._pending.append(sql)

@@ -39,6 +39,7 @@ from ..errors import (
 from ..expr.compile import ExpressionCompiler
 from ..expr.scope import RelationBinding, Scope
 from ..graph.graph_view import GraphView, build_graph_view
+from ..observability import context as observability_context
 from ..observability import tracer as tracer_module
 from ..observability.metrics import recording_registry
 from ..observability.slowlog import SlowQueryLog
@@ -77,6 +78,27 @@ WRITE_STATEMENT_TYPES = (
 
 #: Valid values for :attr:`Database.role`.
 ROLES = ("standalone", "primary", "replica")
+
+
+def statement_is_write(statement: ast.Statement) -> bool:
+    """True when a parsed statement mutates durable state.
+
+    This is the engine's single read/write classification point: the
+    command log uses it to decide what to record, replicas use it to
+    reject client writes, and the network server uses it to route a
+    statement either to the single-writer scheduler (writes, serialized)
+    or to the calling session thread (reads, concurrent).
+    """
+    return isinstance(statement, WRITE_STATEMENT_TYPES)
+
+
+def sql_is_write(sql: str) -> bool:
+    """Classify raw SQL; statements that fail to parse are not writes
+    (they can never execute, let alone mutate anything)."""
+    try:
+        return statement_is_write(parse_statement(sql))
+    except Exception:
+        return False
 
 
 class Database:
@@ -160,7 +182,10 @@ class Database:
         return effective.start()
 
     def execute(
-        self, sql: str, budget: Optional[QueryBudget] = None
+        self,
+        sql: str,
+        budget: Optional[QueryBudget] = None,
+        token: Optional[CancellationToken] = None,
     ) -> ResultSet:
         """Parse and run one SQL statement.
 
@@ -169,12 +194,20 @@ class Database:
         exhausted budget raises
         :class:`~repro.errors.ResourceExhaustedError` and rolls the
         implicit transaction back to a consistent state.
+
+        ``token`` supplies an externally owned
+        :class:`~repro.budget.CancellationToken` instead of starting a
+        fresh one — the network server passes the session's token here
+        so a client disconnect can cancel the running statement. When
+        given, it overrides ``budget`` (the caller already combined the
+        budget levels when it started the token).
         """
         statement = parse_statement(sql)
         kind = type(statement).__name__
         started = time.perf_counter()
         try:
-            token = self._start_token(budget)
+            if token is None:
+                token = self._start_token(budget)
             if token is None:
                 result = self._execute_statement(statement)
             else:
@@ -207,7 +240,8 @@ class Database:
                 help="End-to-end statement latency in milliseconds.",
             ).observe(elapsed_ms)
         rows = len(result.rows) if result.rows else 0
-        if self.slow_queries.observe(sql, elapsed_ms, rows, kind):
+        session = observability_context.current_session_label()
+        if self.slow_queries.observe(sql, elapsed_ms, rows, kind, session):
             if registry is not None:
                 registry.counter(
                     "repro_slow_queries_total",
@@ -1031,10 +1065,14 @@ class PreparedQuery:
             parameter.value = value
 
     def execute(
-        self, *values: Any, budget: Optional[QueryBudget] = None
+        self,
+        *values: Any,
+        budget: Optional[QueryBudget] = None,
+        token: Optional[CancellationToken] = None,
     ) -> ResultSet:
         self._bind(values)
-        token = self._database._start_token(budget)
+        if token is None:
+            token = self._database._start_token(budget)
         if token is None:
             rows = [tuple(row) for row in self._planned.operator]
         else:

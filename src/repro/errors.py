@@ -124,6 +124,50 @@ class DivergenceError(ReplicationError):
     """
 
 
+class OverloadedError(DatabaseError):
+    """Raised by the server's admission control when the single-writer
+    queue is full.
+
+    Backpressure, not failure: the statement was never admitted, so the
+    client can safely retry after a moment. Over the wire this maps to
+    the stable ``OVERLOADED`` error code.
+    """
+
+
+class ShuttingDownError(DatabaseError):
+    """Raised when a statement arrives while the server is draining.
+
+    Graceful shutdown finishes statements already in flight and rejects
+    new ones with this error (wire code ``SHUTTING_DOWN``), so clients
+    can fail over instead of hanging on a dying server.
+    """
+
+
+class ProtocolError(DatabaseError):
+    """Raised for malformed wire traffic: an oversized or truncated
+    frame, invalid JSON, a message without a ``type``, or a message
+    that is not legal in the connection's current state."""
+
+
+class RemoteError(DatabaseError):
+    """A server-reported error, re-raised by the client.
+
+    Carries the wire protocol's stable ``code`` (``"READ_ONLY"``,
+    ``"BUDGET_EXCEEDED"``, ...) so callers dispatch on the code rather
+    than on message text.
+    """
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        super().__init__(f"[{code}] {message}")
+
+
+class ClientConnectionError(DatabaseError):
+    """Raised by the client when the server cannot be reached (or the
+    connection died mid-request and the reconnect policy does not allow
+    a transparent retry — e.g. a write whose outcome is unknown)."""
+
+
 class RecoveryError(ExecutionError):
     """Raised when crash recovery (snapshot load / command-log replay)
     detects corruption: a failed checksum, an unreadable snapshot

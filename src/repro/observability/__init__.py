@@ -11,11 +11,16 @@ Three cooperating pieces:
   context (the same plumbing pattern as the query budget), powering
   ``EXPLAIN ANALYZE``;
 * :mod:`~repro.observability.slowlog` — a per-database
-  :class:`SlowQueryLog` with a configurable latency threshold.
+  :class:`SlowQueryLog` with a configurable latency threshold and
+  per-session attribution;
+* :mod:`~repro.observability.context` — the ambient (thread-local)
+  session label the network server installs so shared seams like the
+  slow-query log can attribute work to the client that sent it.
 
 See ``docs/observability.md`` for the full tour.
 """
 
+from .context import current_session_label, session_label, set_session_label
 from .metrics import (
     DEFAULT_BUCKETS_MS,
     Counter,
@@ -45,4 +50,7 @@ __all__ = [
     "current_tracer",
     "SlowQueryLog",
     "SlowQueryEntry",
+    "current_session_label",
+    "set_session_label",
+    "session_label",
 ]

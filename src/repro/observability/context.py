@@ -1,0 +1,60 @@
+"""Ambient per-thread execution context: who is running this statement?
+
+The network server executes every session on its own thread (and routes
+writes through the single-writer executor thread), while the engine's
+instrumentation seams — the slow-query log above all — live deep inside
+:class:`~repro.core.database.Database` where no session object is in
+scope. This module carries the attribution across that gap the same way
+the resource governor carries its token: a ``threading.local`` slot the
+server sets around statement execution and the seams read for free.
+
+The label is a short human-readable string (``"s3 [127.0.0.1:52144]"``)
+— never interpreted, only recorded.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+
+class _Context(threading.local):
+    def __init__(self):
+        self.session_label: str = ""
+
+
+_CONTEXT = _Context()
+
+
+def current_session_label() -> str:
+    """The session label attributed to this thread's statements."""
+    return _CONTEXT.session_label
+
+
+def set_session_label(label: Optional[str]) -> None:
+    """Install ``label`` (or clear with ``None``/``""``) on this thread."""
+    _CONTEXT.session_label = label or ""
+
+
+class session_label:
+    """Context manager scoping a session label to a block.
+
+    The single-writer executor uses this so each queued write is
+    attributed to the session that submitted it, not to the executor
+    thread.
+    """
+
+    __slots__ = ("label", "_previous")
+
+    def __init__(self, label: Optional[str]):
+        self.label = label or ""
+        self._previous = ""
+
+    def __enter__(self) -> "session_label":
+        self._previous = _CONTEXT.session_label
+        _CONTEXT.session_label = self.label
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _CONTEXT.session_label = self._previous
+        return False

@@ -2,13 +2,16 @@
 
 The registry is the always-on half of the observability layer (the
 per-query half is :mod:`repro.observability.tracer`). It is deliberately
-minimal: execution is serial (single-partition, like the VoltDB
-substrate the paper builds on), so metrics need no locks — an update is
-one attribute store — and they are cheap enough to leave enabled at the
-engine's instrumentation seams (statement boundaries, command-log
-fsyncs, snapshot I/O, replication shipping). Per-row costs stay out of
-this module by design; row-level accounting lives in the tracer, which
-is off unless a query runs under ``EXPLAIN ANALYZE``.
+minimal, but it **is** thread-safe: the network server executes
+read-only statements concurrently on session threads, so every update
+(a read-modify-write on a counter, gauge or histogram bucket) holds the
+metric's lock — without it, two sessions incrementing the same counter
+lose increments. Updates only happen at the engine's instrumentation
+seams (statement boundaries, command-log fsyncs, snapshot I/O,
+replication shipping, server session lifecycle), so one uncontended
+lock per event is noise next to the statement it measures. Per-row
+costs stay out of this module by design; row-level accounting lives in
+the tracer, which is off unless a query runs under ``EXPLAIN ANALYZE``.
 
 Two read-side views are provided:
 
@@ -27,6 +30,7 @@ from __future__ import annotations
 
 import os
 import re
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -68,48 +72,59 @@ def _format_value(value: float) -> str:
 
 
 class Counter:
-    """A monotonically increasing count (e.g. statements executed)."""
+    """A monotonically increasing count (e.g. statements executed).
 
-    __slots__ = ("value",)
+    ``inc`` is a locked read-modify-write: concurrent sessions
+    incrementing the same counter must never lose an update.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that can go up and down (e.g. replication lag)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
     """Fixed-bucket histogram (cumulative buckets, Prometheus-style).
 
     ``bounds`` are the inclusive upper bounds of the finite buckets; an
-    implicit ``+Inf`` bucket catches everything else. ``observe`` is two
-    attribute updates plus one linear bucket probe — bucket counts are
-    stored non-cumulatively and only accumulated at render time, keeping
-    the write path cheap.
+    implicit ``+Inf`` bucket catches everything else. ``observe`` holds
+    the histogram's lock for two attribute updates plus one linear
+    bucket probe — bucket counts are stored non-cumulatively and only
+    accumulated at render time, keeping the write path cheap while
+    concurrent observers never lose a bucket increment.
     """
 
-    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "_lock")
 
     def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS_MS) -> None:
         self.bounds: Tuple[float, ...] = tuple(sorted(float(b) for b in bounds))
@@ -118,24 +133,33 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.sum: float = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.sum += value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
-        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last.
+
+        Taken under the lock so a render that races an ``observe`` sees
+        a consistent (count, buckets) pair.
+        """
+        with self._lock:
+            counts = list(self.bucket_counts)
+            total = self.count
         out: List[Tuple[float, int]] = []
         running = 0
-        for bound, bucket in zip(self.bounds, self.bucket_counts):
+        for bound, bucket in zip(self.bounds, counts):
             running += bucket
             out.append((bound, running))
-        out.append((float("inf"), self.count))
+        out.append((float("inf"), total))
         return out
 
 
@@ -162,10 +186,15 @@ class MetricsRegistry:
 
     Re-registering a name with a different metric kind is an error —
     that is always an instrumentation bug, not a runtime condition.
+
+    Handle acquisition and the read-side views hold the registry lock;
+    updates through an acquired handle take only that metric's own
+    lock, so hot seams can cache handles and never contend here.
     """
 
     def __init__(self) -> None:
         self._families: Dict[str, _Family] = {}
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # handle acquisition
@@ -193,13 +222,14 @@ class MetricsRegistry:
         for label in labels:
             if not _LABEL_RE.match(label):
                 raise ValueError(f"invalid label name: {label!r}")
-        family = self._family(name, kind, help_text)
-        key = _label_key(labels)
-        child = family.children.get(key)
-        if child is None:
-            child = make()
-            family.children[key] = child
-        return child
+        with self._lock:
+            family = self._family(name, kind, help_text)
+            key = _label_key(labels)
+            child = family.children.get(key)
+            if child is None:
+                child = make()
+                family.children[key] = child
+            return child
 
     def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
         return self._child(name, "counter", help, labels, Counter)
@@ -224,10 +254,11 @@ class MetricsRegistry:
 
     def value(self, name: str, **labels: Any) -> Optional[float]:
         """The current value of a counter/gauge (None if never touched)."""
-        family = self._families.get(name)
-        if family is None:
-            return None
-        child = family.children.get(_label_key(labels))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return None
+            child = family.children.get(_label_key(labels))
         if child is None or isinstance(child, Histogram):
             return None
         return child.value
@@ -235,11 +266,14 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, Any]:
         """A JSON-serializable dump of every metric in the registry."""
         out: Dict[str, Any] = {}
-        for name in sorted(self._families):
-            family = self._families[name]
+        with self._lock:
+            families = dict(self._families)
+        for name in sorted(families):
+            family = families[name]
             samples = []
-            for key in sorted(family.children):
-                child = family.children[key]
+            children = dict(family.children)
+            for key in sorted(children):
+                child = children[key]
                 labels = dict(key)
                 if isinstance(child, Histogram):
                     samples.append(
@@ -272,17 +306,20 @@ class MetricsRegistry:
         substring (the shell's ``\\metrics FILTER`` argument).
         """
         lines: List[str] = []
-        for name in sorted(self._families):
+        with self._lock:
+            families = dict(self._families)
+        for name in sorted(families):
             if filter and filter not in name:
                 continue
-            family = self._families[name]
-            if not family.children:
+            family = families[name]
+            children = dict(family.children)
+            if not children:
                 continue
             if family.help:
                 lines.append(f"# HELP {name} {family.help}")
             lines.append(f"# TYPE {name} {family.kind}")
-            for key in sorted(family.children):
-                child = family.children[key]
+            for key in sorted(children):
+                child = children[key]
                 if isinstance(child, Histogram):
                     for bound, count in child.cumulative_buckets():
                         le = "+Inf" if bound == float("inf") else _format_value(bound)
@@ -302,7 +339,8 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every metric (test isolation)."""
-        self._families.clear()
+        with self._lock:
+            self._families.clear()
 
 
 def _render_labels(key: Iterable[Tuple[str, str]]) -> str:

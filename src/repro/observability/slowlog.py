@@ -5,10 +5,18 @@ threshold is configured (``db.set_slow_query_threshold(ms)``), so the
 per-statement cost of the disabled path is one ``None`` comparison.
 Recorded entries also increment the ``repro_slow_queries_total`` counter
 in the process-wide metrics registry.
+
+The log is shared by every session of a network server, so recording
+and reading hold a lock (``deque.append`` alone is atomic, but the
+threshold check + append + counter bump must observe one consistent
+configuration), and each entry carries the **session label** of the
+connection that ran the statement (empty for in-process callers) so a
+slow ``PATHS`` enumeration can be attributed to the client that sent it.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Deque, List, Optional
 
@@ -16,19 +24,29 @@ from typing import Deque, List, Optional
 class SlowQueryEntry:
     """One recorded slow statement."""
 
-    __slots__ = ("sql", "elapsed_ms", "rows", "kind")
+    __slots__ = ("sql", "elapsed_ms", "rows", "kind", "session")
 
-    def __init__(self, sql: str, elapsed_ms: float, rows: int, kind: str):
+    def __init__(
+        self,
+        sql: str,
+        elapsed_ms: float,
+        rows: int,
+        kind: str,
+        session: str = "",
+    ):
         self.sql = sql
         self.elapsed_ms = elapsed_ms
         self.rows = rows
         self.kind = kind
+        #: Server session label ("" when the statement ran in-process).
+        self.session = session
 
     def __repr__(self) -> str:
         head = self.sql if len(self.sql) <= 60 else self.sql[:57] + "..."
+        origin = f", session={self.session!r}" if self.session else ""
         return (
             f"SlowQueryEntry({self.elapsed_ms:.1f} ms, {self.kind}, "
-            f"rows={self.rows}, {head!r})"
+            f"rows={self.rows}{origin}, {head!r})"
         )
 
 
@@ -44,27 +62,40 @@ class SlowQueryLog:
             raise ValueError("capacity must be positive")
         self.threshold_ms = threshold_ms
         self._entries: Deque[SlowQueryEntry] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
 
     def set_threshold(self, threshold_ms: Optional[float]) -> None:
         """Set (or clear, with ``None``) the recording threshold."""
         if threshold_ms is not None and threshold_ms < 0:
             raise ValueError("threshold_ms must be non-negative")
-        self.threshold_ms = threshold_ms
+        with self._lock:
+            self.threshold_ms = threshold_ms
 
     def observe(
-        self, sql: str, elapsed_ms: float, rows: int, kind: str
+        self,
+        sql: str,
+        elapsed_ms: float,
+        rows: int,
+        kind: str,
+        session: str = "",
     ) -> bool:
         """Record the statement if it crossed the threshold."""
-        if self.threshold_ms is None or elapsed_ms < self.threshold_ms:
-            return False
-        self._entries.append(SlowQueryEntry(sql, elapsed_ms, rows, kind))
-        return True
+        with self._lock:
+            if self.threshold_ms is None or elapsed_ms < self.threshold_ms:
+                return False
+            self._entries.append(
+                SlowQueryEntry(sql, elapsed_ms, rows, kind, session)
+            )
+            return True
 
     def entries(self) -> List[SlowQueryEntry]:
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

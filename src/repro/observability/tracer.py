@@ -2,9 +2,11 @@
 
 A :class:`QueryTracer` hangs :class:`OperatorSpan` objects off the
 ambient execution context, exactly like the resource governor's
-:class:`~repro.budget.CancellationToken` (module-level stack,
+:class:`~repro.budget.CancellationToken` (thread-local stack,
 ``current_tracer()`` lookup at iteration start, identity-based removal
-so interleaved lazy consumers cannot pop each other's tracer).
+so interleaved lazy consumers cannot pop each other's tracer). The
+stack is per-thread so concurrent server sessions tracing their own
+statements never interleave spans.
 
 The hot-path contract mirrors the budget plumbing: with no tracer
 active, :meth:`~repro.executor.operators.Operator.__iter__` performs a
@@ -27,6 +29,7 @@ plan node).
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -198,25 +201,40 @@ class QueryTracer:
 
 
 # ---------------------------------------------------------------------------
-# ambient tracer (serial execution model — same shape as repro.budget)
+# ambient tracer (thread-local — same shape as repro.budget)
 # ---------------------------------------------------------------------------
 
-_TRACER_STACK: List[QueryTracer] = []
+
+class _AmbientStack(threading.local):
+    """Per-thread stack of active tracers (one per executing thread)."""
+
+    def __init__(self):
+        self.items: List[QueryTracer] = []
+
+
+_AMBIENT = _AmbientStack()
+
+
+def _stack() -> List[QueryTracer]:
+    """This thread's tracer stack (tests introspect it)."""
+    return _AMBIENT.items
 
 
 def current_tracer() -> Optional[QueryTracer]:
-    """The tracer observing the innermost traced statement (or None)."""
-    return _TRACER_STACK[-1] if _TRACER_STACK else None
+    """The tracer observing this thread's innermost statement (or None)."""
+    items = _AMBIENT.items
+    return items[-1] if items else None
 
 
 def deactivate(tracer: Optional[QueryTracer]) -> None:
-    """Remove every occurrence of ``tracer`` from the ambient stack
+    """Remove every occurrence of ``tracer`` from this thread's stack
     (backstop for lazy consumers, mirroring ``budget.deactivate``)."""
     if tracer is None:
         return
-    for index in range(len(_TRACER_STACK) - 1, -1, -1):
-        if _TRACER_STACK[index] is tracer:
-            del _TRACER_STACK[index]
+    items = _AMBIENT.items
+    for index in range(len(items) - 1, -1, -1):
+        if items[index] is tracer:
+            del items[index]
 
 
 class activate:
@@ -232,12 +250,13 @@ class activate:
         self.tracer = tracer
 
     def __enter__(self) -> QueryTracer:
-        _TRACER_STACK.append(self.tracer)
+        _AMBIENT.items.append(self.tracer)
         return self.tracer
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        for index in range(len(_TRACER_STACK) - 1, -1, -1):
-            if _TRACER_STACK[index] is self.tracer:
-                del _TRACER_STACK[index]
+        items = _AMBIENT.items
+        for index in range(len(items) - 1, -1, -1):
+            if items[index] is self.tracer:
+                del items[index]
                 break
         return False

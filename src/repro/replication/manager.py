@@ -31,21 +31,13 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional
 
-from ..core.database import WRITE_STATEMENT_TYPES
+from ..core.database import sql_is_write as _is_write
 from ..errors import ReplicationError
 from ..observability.metrics import recording_registry
-from ..sql.parser import parse_statement
 from .fault_injection import FaultInjector
 from .primary import Primary
 from .replica import Replica
 from .transport import Channel
-
-
-def _is_write(sql: str) -> bool:
-    try:
-        return isinstance(parse_statement(sql), WRITE_STATEMENT_TYPES)
-    except Exception:
-        return False
 
 
 class ReplicationManager:

@@ -1,0 +1,229 @@
+"""Replication over real TCP sockets.
+
+The in-memory :class:`~repro.replication.transport.Channel` is what the
+chaos suite drives deterministically; this module provides the same
+*interface* over a socket so a primary and its replicas can live in
+different processes::
+
+    # replica process
+    link = connect_replica("primary-host", 7171, name="r1",
+                           acked_sequence=replica.applied_sequence)
+    replica.connect(inbound=link.inbound, outbound=link.outbound)
+
+    # primary process
+    listener = ReplicationListener("0.0.0.0", 7171)
+    link, hello = listener.accept()
+    primary.attach_replica(hello["name"],
+                           outbound=link.outbound, inbound=link.inbound,
+                           acked_sequence=hello.get("acked_sequence", 0))
+
+Both directions share one socket. Frames reuse the server's wire format
+(4-byte length prefix + JSON object) with the message flattened to
+``{"kind", "epoch", "data"}``. A background reader thread parses
+inbound frames into a thread-safe buffer that ``receive_all()`` drains
+— exactly the Channel contract the pump loops already code against.
+
+Failure semantics match the in-memory channel's: the replication
+protocol assumes an *unreliable* link, so a send on a dead socket is a
+dropped message (the link marks itself ``closed``), never an exception
+into the pump loop. Heartbeat timeouts, not transport errors, are how
+peers learn the other side is gone.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError, ReplicationError
+from ..server.protocol import read_frame, send_frame
+from .transport import Message
+
+
+class _Outbound:
+    """Channel-compatible send side: one frame per message."""
+
+    def __init__(self, link: "TcpLink"):
+        self._link = link
+        self.sent = 0
+
+    def send(self, message: Message) -> None:
+        self.sent += 1
+        self._link._send(message)
+
+    @property
+    def pending(self) -> int:
+        return 0  # handed to the kernel; nothing queued in-process
+
+    def __repr__(self) -> str:
+        return f"TcpOutbound(sent={self.sent})"
+
+
+class _Inbound:
+    """Channel-compatible receive side, filled by the reader thread."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queue: List[Message] = []
+        self.delivered = 0
+
+    def _push(self, message: Message) -> None:
+        with self._lock:
+            self._queue.append(message)
+
+    def receive_all(self) -> List[Message]:
+        with self._lock:
+            batch, self._queue = self._queue, []
+        self.delivered += len(batch)
+        return batch
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"TcpInbound(pending={self.pending})"
+
+
+class TcpLink:
+    """A bidirectional replication link over one connected socket."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self.closed = False
+        self.outbound = _Outbound(self)
+        self.inbound = _Inbound()
+        self._reader = threading.Thread(
+            target=self._reader_loop, name="repro-repl-read", daemon=True
+        )
+        self._reader.start()
+
+    # -- wire ----------------------------------------------------------
+
+    def _send(self, message: Message) -> None:
+        if self.closed:
+            return  # dropped, like a partitioned channel
+        frame = {
+            "type": "REPL",  # read_frame requires a type field
+            "kind": message.kind,
+            "epoch": message.epoch,
+            "data": message.data,
+        }
+        try:
+            with self._send_lock:
+                send_frame(self._sock, frame)
+        except (OSError, ProtocolError):
+            self.closed = True
+
+    def _reader_loop(self) -> None:
+        while True:
+            try:
+                frame = read_frame(self._sock)
+            except (OSError, ProtocolError):
+                break
+            if frame is None:
+                break
+            if "kind" not in frame or "epoch" not in frame:
+                continue  # not a replication message; drop it
+            self.inbound._push(
+                Message(frame["kind"], frame["epoch"], frame.get("data") or {})
+            )
+        self.closed = True
+
+    def close(self) -> None:
+        self.closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"TcpLink({state}, in={self.inbound.pending})"
+
+
+def connect_replica(
+    host: str,
+    port: int,
+    name: str,
+    acked_sequence: int = 0,
+    timeout: float = 5.0,
+) -> TcpLink:
+    """Dial the primary's replication listener and introduce ourselves.
+
+    The hello frame tells the primary who is connecting and from which
+    log position to resume shipping, so a reconnecting replica does not
+    re-receive (or miss) statements.
+    """
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as error:
+        raise ReplicationError(
+            f"cannot reach replication listener {host}:{port}: {error}"
+        )
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    sock.settimeout(None)
+    try:
+        send_frame(sock, {
+            "type": "REPL_HELLO",
+            "kind": "__hello__",
+            "epoch": 0,
+            "data": {"name": name, "acked_sequence": acked_sequence},
+        })
+    except OSError as error:
+        sock.close()
+        raise ReplicationError(f"replication handshake failed: {error}")
+    return TcpLink(sock)
+
+
+class ReplicationListener:
+    """The primary's accept side for replica links."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 8):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._sock.getsockname()[:2]
+
+    def accept(self, timeout: Optional[float] = None) -> Tuple[TcpLink, Dict[str, Any]]:
+        """One replica connection: ``(link, hello_data)``.
+
+        The hello is read synchronously *before* the link's reader
+        thread starts, so it can never race into the inbound buffer.
+        """
+        self._sock.settimeout(timeout)
+        try:
+            sock, _address = self._sock.accept()
+        except socket.timeout:
+            raise ReplicationError("no replica connected before the timeout")
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(timeout)
+        try:
+            hello = read_frame(sock)
+        except (OSError, ProtocolError) as error:
+            sock.close()
+            raise ReplicationError(f"bad replication handshake: {error}")
+        if hello is None or hello.get("kind") != "__hello__":
+            sock.close()
+            raise ReplicationError(
+                "replication handshake must start with a REPL_HELLO frame"
+            )
+        sock.settimeout(None)
+        return TcpLink(sock), hello.get("data") or {}
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass

@@ -1,0 +1,34 @@
+"""Network front end: wire protocol, sessions, single-writer scheduling.
+
+See ``docs/server.md`` for the frame layout, the message flow, the
+stable error codes, and the scheduling model.
+"""
+
+from .protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ROW_BATCH,
+    encode_frame,
+    error_code_for,
+    read_frame,
+    send_frame,
+)
+from .scheduler import ReadWriteLock, SingleWriterScheduler, WriteTicket
+from .server import Server, Session
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ROW_BATCH",
+    "ReadWriteLock",
+    "Server",
+    "Session",
+    "SingleWriterScheduler",
+    "WriteTicket",
+    "encode_frame",
+    "error_code_for",
+    "read_frame",
+    "send_frame",
+]

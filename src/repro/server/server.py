@@ -1,0 +1,537 @@
+"""The network server: sessions, dispatch, and disconnect cancellation.
+
+Threading model (two threads per connection, plus the single writer):
+
+* the **worker** thread owns the session — it reads nothing from the
+  socket; it pops requests from the session's inbox, executes them
+  (reads inline under the scheduler's shared lock, writes via the
+  single-writer queue) and sends every response frame;
+* the **reader** thread owns the socket's receive side — it parses
+  frames into the inbox, and because it is *always* parked in
+  ``recv()`` (even while a statement runs), a client disconnect is
+  noticed immediately and translated into ``token.cancel()`` on
+  whatever that session is executing. The cancelled traversal unwinds
+  at its next budget tick; nothing server-side waits on a dead peer.
+
+Every statement runs under a :class:`~repro.budget.CancellationToken`
+— when no budget level is configured the token is unlimited, but it
+still gives the reader thread a cancellation point, so "kill the
+client" always stops the query.
+
+Sessions die cleanly: worker exit removes the session from the
+registry, closes the socket (unblocking the reader), rolls back any
+transaction the session left open, and drops its prepared statements.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from ..budget import CancellationToken, QueryBudget
+from ..core.database import Database, sql_is_write
+from ..errors import (
+    DatabaseError,
+    ProtocolError,
+    ShuttingDownError,
+)
+from ..observability import context as observability_context
+from ..observability.metrics import get_registry, recording_registry
+from . import protocol
+from .protocol import ROW_BATCH, error_code_for
+from .scheduler import SingleWriterScheduler
+
+_POISON = object()  # inbox sentinel: reader is gone, worker must exit
+
+
+class Session:
+    """One authenticated connection: its socket, budget, and statements."""
+
+    def __init__(self, name: str, sock: socket.socket, address):
+        self.name = name
+        self.sock = sock
+        self.address = address
+        #: Frames parsed by the reader, consumed by the worker.
+        self.inbox: "queue.Queue" = queue.Queue()
+        #: Session-level budget (SET_BUDGET), tightened into every statement.
+        self.budget: Optional[QueryBudget] = None
+        #: Token of the statement this session is executing right now —
+        #: the reader cancels it when the client disconnects.
+        self.active_token: Optional[CancellationToken] = None
+        self.disconnected = False
+        #: handle -> PreparedQuery, handles minted by PREPARE.
+        self.prepared: Dict[str, Any] = {}
+        self._next_handle = 0
+        self.statements = 0
+
+    def mint_handle(self) -> str:
+        self._next_handle += 1
+        return f"s{self._next_handle}"
+
+    def __repr__(self) -> str:
+        return f"Session({self.name!r}, peer={self.address!r})"
+
+
+class Server:
+    """A TCP front end for one :class:`~repro.core.database.Database`.
+
+    ::
+
+        server = Server(db, host="127.0.0.1", port=7070)
+        server.start()
+        ...
+        server.shutdown(drain=True)
+
+    ``port=0`` binds an ephemeral port; read the real one from
+    :attr:`address` (tests do exactly this).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth_token: Optional[str] = None,
+        max_queue: int = 64,
+        backlog: int = 32,
+    ):
+        self.db = db
+        self.host = host
+        self.port = port
+        self.auth_token = auth_token
+        self.scheduler = SingleWriterScheduler(max_queue=max_queue)
+        self.backlog = backlog
+        self.sessions: Dict[str, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._session_threads: list = []
+        self._draining = False
+        self._closed = False
+        self._next_session = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — authoritative once started."""
+        if self._listener is None:
+            return (self.host, self.port)
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "Server":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(self.backlog)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self.scheduler.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` (for ``repro --serve``)."""
+        if self._accept_thread is None:
+            self.start()
+        self._accept_thread.join()
+
+    def shutdown(self, drain: bool = True, timeout: float = 10.0) -> bool:
+        """Stop the server.
+
+        With ``drain=True`` (graceful): stop accepting, let every
+        admitted statement finish (new ones get ``SHUTTING_DOWN``),
+        then close the sessions. With ``drain=False``: cancel what is
+        running and tear down. Returns True when everything stopped
+        within ``timeout``.
+        """
+        self._draining = True
+        if self._listener is not None:
+            # closing the fd does not reliably unblock a thread parked
+            # in accept(); shutdown() does on Linux, and the self-connect
+            # poke covers platforms where it raises ENOTCONN instead
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                self._poke_listener()
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if not drain:
+            with self._sessions_lock:
+                live = list(self.sessions.values())
+            for session in live:
+                token = session.active_token
+                if token is not None:
+                    token.cancel("server shutting down")
+        finished = self.scheduler.drain(timeout=timeout)
+        with self._sessions_lock:
+            live = list(self.sessions.values())
+        for session in live:
+            self._close_socket(session)
+        for thread in list(self._session_threads):
+            thread.join(timeout=timeout)
+            finished = finished and not thread.is_alive()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout)
+            finished = finished and not self._accept_thread.is_alive()
+        self._closed = True
+        return finished
+
+    def _poke_listener(self) -> None:
+        try:
+            with socket.create_connection(self.address, timeout=1.0):
+                pass
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # accept / handshake
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, address = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            if self._draining:
+                sock.close()
+                continue
+            # small request/response frames must not sit in Nagle's
+            # buffer waiting for the peer's delayed ACK
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(
+                target=self._handshake,
+                args=(sock, address),
+                name="repro-handshake",
+                daemon=True,
+            ).start()
+
+    def _handshake(self, sock: socket.socket, address) -> None:
+        """Run HELLO/AUTH on a fresh connection, then promote it to a
+        session with its reader and worker threads."""
+        try:
+            hello = protocol.read_frame(sock)
+        except ProtocolError as error:
+            self._send_safely(sock, threading.Lock(), {
+                "type": "ERROR", "code": "PROTOCOL_ERROR", "message": str(error),
+            })
+            sock.close()
+            return
+        if hello is None:
+            sock.close()
+            return
+        lock = threading.Lock()
+        if hello.get("type") != "HELLO":
+            self._send_safely(sock, lock, {
+                "type": "ERROR",
+                "code": "PROTOCOL_ERROR",
+                "message": "first frame must be HELLO",
+            })
+            sock.close()
+            return
+        if self.auth_token is not None and hello.get("auth") != self.auth_token:
+            self._count_error("AUTH_FAILED")
+            self._send_safely(sock, lock, {
+                "type": "ERROR",
+                "code": "AUTH_FAILED",
+                "message": "authentication token rejected",
+            })
+            sock.close()
+            return
+        session = self._register_session(hello, sock, address)
+        self._send_safely(sock, lock, {
+            "type": "HELLO_OK",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "session": session.name,
+            "role": self.db.role,
+        })
+        reader = threading.Thread(
+            target=self._reader_loop,
+            args=(session,),
+            name=f"repro-read-{session.name}",
+            daemon=True,
+        )
+        worker = threading.Thread(
+            target=self._worker_loop,
+            args=(session, lock),
+            name=f"repro-work-{session.name}",
+            daemon=True,
+        )
+        self._session_threads.extend((reader, worker))
+        reader.start()
+        worker.start()
+
+    def _register_session(self, hello, sock, address) -> Session:
+        with self._sessions_lock:
+            self._next_session += 1
+            base = str(hello.get("session") or f"conn-{self._next_session}")
+            name = base
+            suffix = 1
+            while name in self.sessions:
+                suffix += 1
+                name = f"{base}#{suffix}"
+            session = Session(name, sock, address)
+            self.sessions[name] = session
+            self._set_gauge("repro_server_sessions", len(self.sessions))
+        self._inc_counter("repro_server_connections_total")
+        return session
+
+    # ------------------------------------------------------------------
+    # reader: socket -> inbox, disconnect -> cancel
+    # ------------------------------------------------------------------
+
+    def _reader_loop(self, session: Session) -> None:
+        try:
+            while True:
+                message = protocol.read_frame(session.sock)
+                if message is None:
+                    break  # clean EOF
+                session.inbox.put(message)
+                if message.get("type") == "CLOSE":
+                    return  # worker closes the socket after GOODBYE
+        except (ProtocolError, OSError):
+            pass
+        # The peer is gone (or sent garbage). Cancel whatever this
+        # session is executing and tell the worker to wind down.
+        session.disconnected = True
+        token = session.active_token
+        if token is not None:
+            token.cancel("client disconnected")
+        session.inbox.put(_POISON)
+
+    # ------------------------------------------------------------------
+    # worker: inbox -> execute -> response frames
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self, session: Session, lock: threading.Lock) -> None:
+        # every statement this thread runs inline (the read path) is
+        # attributed to this session in the slow-query log
+        observability_context.set_session_label(session.name)
+        try:
+            while True:
+                request = session.inbox.get()
+                if request is _POISON or session.disconnected:
+                    return
+                if not self._dispatch(session, lock, request):
+                    return
+        finally:
+            self._teardown(session)
+
+    def _dispatch(self, session, lock, request) -> bool:
+        """Handle one request; False ends the session."""
+        kind = request.get("type")
+        self._inc_counter("repro_server_requests_total", type=str(kind))
+        if kind in ("QUERY", "EXECUTE"):
+            return self._handle_statement(session, lock, request)
+        if kind == "PREPARE":
+            return self._handle_prepare(session, lock, request)
+        if kind == "SET_BUDGET":
+            return self._handle_set_budget(session, lock, request)
+        if kind == "METRICS":
+            text = get_registry().render_prometheus(request.get("filter"))
+            return self._send_safely(session.sock, lock, {
+                "type": "METRICS", "text": text,
+            })
+        if kind == "PING":
+            return self._send_safely(session.sock, lock, {"type": "PONG"})
+        if kind == "CLOSE":
+            self._send_safely(session.sock, lock, {"type": "GOODBYE"})
+            return False
+        self._count_error("UNSUPPORTED")
+        return self._send_safely(session.sock, lock, {
+            "type": "ERROR",
+            "id": request.get("id"),
+            "code": "UNSUPPORTED",
+            "message": f"unsupported request type: {kind!r}",
+        })
+
+    # -- statements -----------------------------------------------------
+
+    def _handle_statement(self, session, lock, request) -> bool:
+        request_id = request.get("id")
+        try:
+            result = self._run_statement(session, request)
+        except BaseException as error:
+            return self._send_error(session, lock, request_id, error)
+        return self._send_result(session, lock, request_id, result)
+
+    def _run_statement(self, session: Session, request):
+        statement_budget = protocol.budget_from_wire(request.get("budget"))
+        effective = QueryBudget.tightest(
+            self.db.planner_options.budget,
+            self.db.budget,
+            session.budget,
+            statement_budget,
+        )
+        # Always a token — an unlimited one still carries the reader
+        # thread's disconnect cancellation into the operator loops.
+        token = effective.start() if effective is not None else CancellationToken()
+        if request.get("type") == "EXECUTE":
+            runner, is_write = self._prepared_runner(session, request, token)
+        else:
+            sql = request.get("sql")
+            if not isinstance(sql, str):
+                raise ProtocolError("QUERY requires a string 'sql' field")
+            is_write = sql_is_write(sql)
+            # the (possibly command-log-patched) bound method, so server
+            # writes are logged and shipped exactly like embedded ones
+            runner = lambda: self.db.execute(sql, token=token)  # noqa: E731
+        if session.disconnected:
+            raise ShuttingDownError("client disconnected")
+        session.active_token = token
+        session.statements += 1
+        try:
+            if is_write:
+                return self.scheduler.execute_write(
+                    runner, token=token, session=session.name
+                )
+            return self.scheduler.run_read(runner)
+        finally:
+            session.active_token = None
+
+    def _prepared_runner(self, session: Session, request, token):
+        handle = request.get("statement")
+        prepared = session.prepared.get(handle)
+        if prepared is None:
+            raise ProtocolError(f"unknown prepared statement: {handle!r}")
+        params = request.get("params") or []
+        if not isinstance(params, list):
+            raise ProtocolError("EXECUTE 'params' must be an array")
+        # only SELECTs can be prepared, so EXECUTE is always a read
+        return (lambda: prepared.execute(*params, token=token)), False
+
+    def _send_result(self, session, lock, request_id, result) -> bool:
+        columns = list(result.columns or [])
+        rows = result.rows or []
+        if not self._send_safely(session.sock, lock, {
+            "type": "RESULT_HEAD", "id": request_id, "columns": columns,
+        }):
+            return False
+        for start in range(0, len(rows), ROW_BATCH):
+            batch = rows[start:start + ROW_BATCH]
+            if not self._send_safely(session.sock, lock, {
+                "type": "ROWS",
+                "id": request_id,
+                "rows": [protocol.jsonable_row(row) for row in batch],
+            }):
+                return False
+        return self._send_safely(session.sock, lock, {
+            "type": "RESULT_END",
+            "id": request_id,
+            "rows": len(rows),
+            "rowcount": result.rowcount,
+        })
+
+    def _send_error(self, session, lock, request_id, error) -> bool:
+        code = error_code_for(error)
+        self._count_error(code)
+        if not isinstance(error, (DatabaseError, ProtocolError)):
+            # an engine bug, not a user error — keep serving, but say so
+            code = "INTERNAL_ERROR"
+        return self._send_safely(session.sock, lock, {
+            "type": "ERROR",
+            "id": request_id,
+            "code": code,
+            "message": str(error),
+        })
+
+    # -- small requests -------------------------------------------------
+
+    def _handle_prepare(self, session, lock, request) -> bool:
+        request_id = request.get("id")
+        sql = request.get("sql")
+        try:
+            if not isinstance(sql, str):
+                raise ProtocolError("PREPARE requires a string 'sql' field")
+            # planning reads the catalog, so it takes the read lock too
+            prepared = self.scheduler.run_read(lambda: self.db.prepare(sql))
+        except BaseException as error:
+            return self._send_error(session, lock, request_id, error)
+        handle = session.mint_handle()
+        session.prepared[handle] = prepared
+        return self._send_safely(session.sock, lock, {
+            "type": "PREPARED",
+            "id": request_id,
+            "statement": handle,
+            "params": prepared.parameter_count,
+            "columns": prepared.column_names,
+        })
+
+    def _handle_set_budget(self, session, lock, request) -> bool:
+        request_id = request.get("id")
+        try:
+            session.budget = protocol.budget_from_wire(request.get("budget"))
+        except ProtocolError as error:
+            return self._send_error(session, lock, request_id, error)
+        return self._send_safely(session.sock, lock, {
+            "type": "OK",
+            "id": request_id,
+            "budget": protocol.budget_to_wire(session.budget),
+        })
+
+    # ------------------------------------------------------------------
+    # teardown and plumbing
+    # ------------------------------------------------------------------
+
+    def _teardown(self, session: Session) -> None:
+        with self._sessions_lock:
+            self.sessions.pop(session.name, None)
+            self._set_gauge("repro_server_sessions", len(self.sessions))
+        session.prepared.clear()
+        self._close_socket(session)
+        # a disconnected client must not pin a transaction open forever;
+        # rollback routes through the writer so it cannot interleave
+        # with a write in flight
+        if self.db.transactions.in_transaction and not self._draining:
+            try:
+                self.scheduler.execute_write(
+                    self.db.rollback, session=session.name
+                )
+            except DatabaseError:
+                pass
+
+    @staticmethod
+    def _close_socket(session: Session) -> None:
+        try:
+            session.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            session.sock.close()
+        except OSError:
+            pass
+
+    def _send_safely(self, sock, lock, message) -> bool:
+        """Send one frame; False (not an exception) when the peer died —
+        the caller winds the session down."""
+        try:
+            with lock:
+                protocol.send_frame(sock, message)
+            return True
+        except OSError:
+            return False
+
+    # -- metrics --------------------------------------------------------
+
+    def _inc_counter(self, name: str, **labels) -> None:
+        registry = recording_registry()
+        if registry is not None:
+            registry.counter(name, **labels).inc()
+
+    def _set_gauge(self, name: str, value: float) -> None:
+        registry = recording_registry()
+        if registry is not None:
+            registry.gauge(name, help="Live server sessions.").set(value)
+
+    def _count_error(self, code: str) -> None:
+        self._inc_counter("repro_server_errors_total", code=code)

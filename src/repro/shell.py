@@ -91,12 +91,20 @@ class Shell:
         database: Optional[Database] = None,
         out: TextIO = sys.stdout,
         cluster=None,
+        client=None,
     ):
         #: Optional :class:`~repro.replication.ReplicationManager` —
         #: enables ``\replica status`` and ``\promote``. When attached,
         #: the shell's database is the cluster's current primary's.
         self.cluster = cluster
-        self.db = database or (cluster.primary.db if cluster else Database())
+        #: Optional :class:`~repro.client.Client` — remote mode
+        #: (``repro --connect``): statements go over the wire, and the
+        #: catalog-introspection commands are unavailable.
+        self.client = client
+        if client is not None:
+            self.db = None
+        else:
+            self.db = database or (cluster.primary.db if cluster else Database())
         self.out = out
         self.timer = False
         self.timeout_ms: Optional[int] = None
@@ -128,7 +136,9 @@ class Shell:
     def execute_statement(self, sql: str) -> None:
         started = time.perf_counter()
         try:
-            if self.cluster is not None:
+            if self.client is not None:
+                result = self.client.execute(sql)
+            elif self.cluster is not None:
                 # route through the manager: writes are acknowledged
                 # only after the configured replicas have applied them
                 result = self.cluster.execute(sql)
@@ -168,6 +178,13 @@ class Shell:
         parts = line.split(None, 1)
         name = parts[0][1:].lower()
         argument = parts[1].strip() if len(parts) > 1 else ""
+        if self.client is not None and name in (
+            "tables", "schema", "slow", "run", "replica", "promote",
+        ):
+            # these introspect server-side objects the protocol does not
+            # expose; everything else works identically over the wire
+            self.write(f"{parts[0]} is not available over a remote connection")
+            return
         if name in ("quit", "exit"):
             self.done = True
         elif name == "help":
@@ -200,8 +217,15 @@ class Shell:
             self.write(f"unknown command {parts[0]} (try .help)")
 
     def _metrics(self, argument: str) -> None:
-        """``\\metrics [FILTER]`` — dump the process-wide registry."""
-        text = get_registry().render_prometheus(argument or None)
+        """``\\metrics [FILTER]`` — dump the (possibly remote) registry."""
+        if self.client is not None:
+            try:
+                text = self.client.metrics(argument or None)
+            except DatabaseError as error:
+                self.write(self._format_error(error))
+                return
+        else:
+            text = get_registry().render_prometheus(argument or None)
         self.write(text if text else "(no metrics recorded)")
 
     def _slow(self, argument: str) -> None:
@@ -245,7 +269,7 @@ class Shell:
             return
         if argument.lower() in ("off", "0", "none"):
             self.timeout_ms = None
-            self.db.set_budget(None)
+            self._apply_timeout(None)
             self.write("timeout off")
             return
         try:
@@ -256,8 +280,20 @@ class Shell:
             self.write("usage: \\timeout MS|off")
             return
         self.timeout_ms = ms
-        self.db.set_budget(QueryBudget(timeout_ms=ms))
+        self._apply_timeout(ms)
         self.write(f"timeout {ms} ms")
+
+    def _apply_timeout(self, ms: Optional[int]) -> None:
+        if self.client is not None:
+            # session-level budget on the server; combined (tightest
+            # knob wins) with any server-wide budget
+            self.client.set_budget(
+                {"timeout_ms": ms} if ms is not None else None
+            )
+        else:
+            self.db.set_budget(
+                QueryBudget(timeout_ms=ms) if ms is not None else None
+            )
 
     def _replica_command(self, argument: str) -> None:
         """``\\replica status`` — render the cluster's status rows."""
@@ -354,7 +390,11 @@ class Shell:
             self.write("usage: .explain SELECT ...")
             return
         try:
-            self.write(self.db.explain(sql.rstrip(";")))
+            if self.client is not None:
+                result = self.client.execute("EXPLAIN " + sql.rstrip(";"))
+                self.write("\n".join(str(row[0]) for row in result.rows))
+            else:
+                self.write(self.db.explain(sql.rstrip(";")))
         except DatabaseError as error:
             self.write(self._format_error(error))
 

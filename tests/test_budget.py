@@ -264,37 +264,37 @@ class TestStreamTokenHygiene:
     govern (and falsely abort) unrelated later statements."""
 
     def test_early_close_leaves_no_ambient_token(self, db):
-        from repro.budget import _TOKEN_STACK
+        from repro.budget import _stack
 
         stream = db.stream("SELECT a FROM t", budget=QueryBudget(max_rows=100))
         next(stream)
         stream.close()  # abandon mid-iteration
-        assert _TOKEN_STACK == []
+        assert _stack() == []
         assert current_token() is None
         # later statements are ungoverned by the abandoned budget
         assert len(db.execute("SELECT a FROM t").rows) == 8
 
     def test_abandoned_generator_gc_leaves_no_ambient_token(self, db):
-        from repro.budget import _TOKEN_STACK
+        from repro.budget import _stack
 
         stream = db.stream("SELECT a FROM t", budget=QueryBudget(max_rows=2))
         next(stream)
         del stream  # GC closes the generator
-        assert _TOKEN_STACK == []
+        assert _stack() == []
         assert current_token() is None
 
     def test_prepared_stream_early_close_is_clean(self, db):
-        from repro.budget import _TOKEN_STACK
+        from repro.budget import _stack
 
         prepared = db.prepare("SELECT a FROM t WHERE a > ?")
         stream = prepared.stream(0, budget=QueryBudget(max_rows=100))
         next(stream)
         stream.close()
-        assert _TOKEN_STACK == []
+        assert _stack() == []
         assert len(prepared.execute(0).rows) == 8
 
     def test_interleaved_streams_unwind_cleanly(self, db):
-        from repro.budget import _TOKEN_STACK
+        from repro.budget import _stack
 
         first = db.stream("SELECT a FROM t", budget=QueryBudget(max_rows=100))
         second = db.stream("SELECT a FROM t", budget=QueryBudget(max_rows=100))
@@ -303,10 +303,10 @@ class TestStreamTokenHygiene:
         first.close()  # out of stack order
         next(second)
         second.close()
-        assert _TOKEN_STACK == []
+        assert _stack() == []
 
     def test_deactivate_none_is_noop(self):
-        from repro.budget import _TOKEN_STACK, deactivate
+        from repro.budget import _stack, deactivate
 
         deactivate(None)
-        assert _TOKEN_STACK == []
+        assert _stack() == []

@@ -1,0 +1,193 @@
+"""The TCP replication transport: handshake, log shipping over real
+sockets, and the unreliable-link failure contract.
+
+The deterministic chaos suite drives the in-memory Channel; these tests
+prove the socket transport honours the same interface and semantics so
+a primary and replica can live in different processes.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.replication import Primary, Replica, combined_digest
+from repro.replication.tcp import (
+    ReplicationListener,
+    TcpLink,
+    connect_replica,
+)
+from repro.replication.transport import Message
+from repro.server.protocol import send_frame
+
+WORKLOAD = [
+    "CREATE TABLE accounts (id INT PRIMARY KEY, owner VARCHAR, cents INT)",
+    "INSERT INTO accounts VALUES (1, 'ada', 1000)",
+    "INSERT INTO accounts VALUES (2, 'bob', 500)",
+    "UPDATE accounts SET cents = 750 WHERE id = 2",
+    "INSERT INTO accounts VALUES (3, 'eve', 10)",
+    "DELETE FROM accounts WHERE id = 3",
+]
+
+
+def pump_until(primary, replica, condition, timeout=10.0):
+    """Tick both pumps until the condition holds (sockets deliver
+    asynchronously, so the loop polls rather than stepping in lockstep
+    like the in-memory manager)."""
+    deadline = time.monotonic() + timeout
+    tick = 0
+    while time.monotonic() < deadline:
+        tick += 1
+        primary.pump(tick)
+        replica.pump(tick)
+        if condition():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+@pytest.fixture
+def listener():
+    listener = ReplicationListener("127.0.0.1", 0)
+    yield listener
+    listener.close()
+
+
+def dial(listener, name, acked_sequence=0):
+    """Connect both ends: returns (primary_link, hello, replica_link)."""
+    host, port = listener.address
+    result = {}
+
+    def connect():
+        result["link"] = connect_replica(
+            host, port, name=name, acked_sequence=acked_sequence
+        )
+
+    thread = threading.Thread(target=connect)
+    thread.start()
+    primary_link, hello = listener.accept(timeout=5)
+    thread.join(timeout=5)
+    return primary_link, hello, result["link"]
+
+
+class TestHandshake:
+    def test_hello_carries_identity_and_resume_position(self, listener):
+        primary_link, hello, replica_link = dial(
+            listener, "r9", acked_sequence=17
+        )
+        try:
+            assert hello == {"name": "r9", "acked_sequence": 17}
+        finally:
+            primary_link.close()
+            replica_link.close()
+
+    def test_non_hello_first_frame_rejected(self, listener):
+        host, port = listener.address
+        rogue = socket.create_connection((host, port), timeout=5)
+        try:
+            send_frame(rogue, {"type": "QUERY", "sql": "SELECT 1"})
+            with pytest.raises(ReplicationError):
+                listener.accept(timeout=5)
+        finally:
+            rogue.close()
+
+    def test_accept_times_out_without_a_replica(self, listener):
+        with pytest.raises(ReplicationError):
+            listener.accept(timeout=0.2)
+
+    def test_unreachable_listener_raises(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        with pytest.raises(ReplicationError):
+            connect_replica("127.0.0.1", port, name="r1", timeout=0.5)
+
+
+class TestShipping:
+    def test_statements_ship_and_digests_match(self, tmp_path, listener):
+        primary = Primary(str(tmp_path / "primary.log"))
+        replica = Replica("r1", str(tmp_path))
+        primary_link, hello, replica_link = dial(
+            listener, "r1", acked_sequence=replica.applied_sequence
+        )
+        try:
+            replica.connect(
+                inbound=replica_link.inbound, outbound=replica_link.outbound
+            )
+            primary.attach_replica(
+                hello["name"],
+                outbound=primary_link.outbound,
+                inbound=primary_link.inbound,
+                acked_sequence=hello.get("acked_sequence", 0),
+            )
+            for sql in WORKLOAD:
+                primary.execute(sql)
+            assert pump_until(
+                primary,
+                replica,
+                lambda: replica.applied_sequence
+                >= primary.log.last_sequence,
+            ), "replica never caught up to the primary's log head"
+            assert replica.db.execute(
+                "SELECT id, owner, cents FROM accounts"
+            ).rows == [(1, "ada", 1000), (2, "bob", 750)]
+            assert combined_digest(replica.db) == combined_digest(primary.db)
+        finally:
+            primary_link.close()
+            replica_link.close()
+
+
+class TestUnreliableLink:
+    @pytest.fixture
+    def pair(self):
+        a, b = socket.socketpair()
+        left, right = TcpLink(a), TcpLink(b)
+        yield left, right
+        left.close()
+        right.close()
+
+    def test_messages_cross_and_drain(self, pair):
+        left, right = pair
+        left.outbound.send(Message("ship", 1, {"sequence": 4}))
+        left.outbound.send(Message("ship", 1, {"sequence": 5}))
+        assert wait_until(lambda: right.inbound.pending == 2)
+        batch = right.inbound.receive_all()
+        assert [m.data["sequence"] for m in batch] == [4, 5]
+        assert batch[0].kind == "ship" and batch[0].epoch == 1
+        assert right.inbound.pending == 0
+        assert right.inbound.receive_all() == []
+
+    def test_send_on_closed_link_is_a_silent_drop(self, pair):
+        left, right = pair
+        left.close()
+        # the pump loop must never see a transport exception
+        left.outbound.send(Message("ship", 1, {"sequence": 1}))
+        assert left.closed
+
+    def test_peer_death_marks_the_link_closed(self, pair):
+        left, right = pair
+        right.close()
+        assert wait_until(lambda: left.closed), (
+            "reader thread never noticed the peer going away"
+        )
+        left.outbound.send(Message("heartbeat", 1, {}))  # still no raise
+
+    def test_non_replication_frames_are_skipped(self, pair):
+        left, right = pair
+        send_frame(left._sock, {"type": "PING"})  # no kind/epoch
+        left.outbound.send(Message("ship", 2, {"sequence": 1}))
+        assert wait_until(lambda: right.inbound.pending == 1)
+        [message] = right.inbound.receive_all()
+        assert message.kind == "ship" and message.epoch == 2

@@ -1,0 +1,197 @@
+"""Wire protocol: framing, malformed input, and stable error codes."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.budget import QueryBudget
+from repro.errors import (
+    CatalogError,
+    ConstraintViolation,
+    DatabaseError,
+    DivergenceError,
+    ExecutionError,
+    FencedError,
+    IntegrityError,
+    OverloadedError,
+    PlanningError,
+    ProtocolError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ReadOnlyError,
+    ReplicationError,
+    ResourceExhaustedError,
+    ShuttingDownError,
+    SqlSyntaxError,
+    TransactionError,
+    TypeMismatchError,
+)
+from repro.server.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    budget_from_wire,
+    budget_to_wire,
+    encode_frame,
+    error_code_for,
+    jsonable_row,
+    read_frame,
+    send_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_roundtrip(self, pair):
+        a, b = pair
+        message = {"type": "QUERY", "id": 7, "sql": "SELECT 1", "n": None}
+        send_frame(a, message)
+        assert read_frame(b) == message
+
+    def test_many_frames_in_order(self, pair):
+        a, b = pair
+        for i in range(50):
+            send_frame(a, {"type": "PING", "id": i})
+        for i in range(50):
+            assert read_frame(b)["id"] == i
+
+    def test_unicode_payload(self, pair):
+        a, b = pair
+        send_frame(a, {"type": "ROWS", "rows": [["héllo", "日本語"]]})
+        assert read_frame(b)["rows"] == [["héllo", "日本語"]]
+
+    def test_clean_eof_returns_none(self, pair):
+        a, b = pair
+        a.close()
+        assert read_frame(b) is None
+
+    def test_torn_frame_is_protocol_error(self, pair):
+        a, b = pair
+        frame = encode_frame({"type": "PING"})
+        a.sendall(frame[: len(frame) - 3])  # header + partial payload
+        a.close()
+        with pytest.raises(ProtocolError):
+            read_frame(b)
+
+    def test_truncated_header_is_protocol_error(self, pair):
+        a, b = pair
+        a.sendall(b"\x00\x00")  # half a length prefix
+        a.close()
+        with pytest.raises(ProtocolError):
+            read_frame(b)
+
+    def test_oversized_length_prefix_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError):
+            read_frame(b)
+
+    def test_invalid_json_rejected(self, pair):
+        a, b = pair
+        payload = b"{not json"
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ProtocolError):
+            read_frame(b)
+
+    def test_non_object_payload_rejected(self, pair):
+        a, b = pair
+        payload = b"[1, 2, 3]"
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ProtocolError):
+            read_frame(b)
+
+    def test_object_without_type_rejected(self, pair):
+        a, b = pair
+        payload = b'{"id": 1}'
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ProtocolError):
+            read_frame(b)
+
+    def test_encode_rejects_oversized_message(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"type": "ROWS", "x": "a" * (MAX_FRAME_BYTES + 1)})
+
+
+class TestErrorCodes:
+    """The code for each exception is a wire contract: clients dispatch
+    on it, so these assignments must never drift."""
+
+    CONTRACT = [
+        (QueryTimeoutError("t"), "TIMEOUT"),
+        (ResourceExhaustedError("r"), "BUDGET_EXCEEDED"),
+        (QueryCancelledError("c"), "CANCELLED"),
+        (ReadOnlyError("ro"), "READ_ONLY"),
+        (IntegrityError("i"), "CONSTRAINT_VIOLATION"),
+        (ConstraintViolation("cv"), "CONSTRAINT_VIOLATION"),
+        (TypeMismatchError("tm"), "TYPE_MISMATCH"),
+        (SqlSyntaxError("s"), "PARSE_ERROR"),
+        (CatalogError("c"), "CATALOG_ERROR"),
+        (PlanningError("p"), "PLANNING_ERROR"),
+        (TransactionError("t"), "TRANSACTION_ERROR"),
+        (OverloadedError("o"), "OVERLOADED"),
+        (ShuttingDownError("s"), "SHUTTING_DOWN"),
+        (ProtocolError("p"), "PROTOCOL_ERROR"),
+        (FencedError("f"), "FENCED"),
+        (DivergenceError("d"), "DIVERGED"),
+        (ReplicationError("r"), "REPLICATION_ERROR"),
+        (ExecutionError("e"), "EXECUTION_ERROR"),
+        (DatabaseError("d"), "DATABASE_ERROR"),
+    ]
+
+    def test_contract(self):
+        for error, code in self.CONTRACT:
+            assert error_code_for(error) == code, type(error).__name__
+
+    def test_subclass_beats_base(self):
+        # QueryTimeoutError IS a ResourceExhaustedError; the wire code
+        # must still distinguish them
+        assert error_code_for(QueryTimeoutError("t")) == "TIMEOUT"
+        assert error_code_for(IntegrityError("i")) != "EXECUTION_ERROR"
+
+    def test_unknown_exception_is_internal(self):
+        assert error_code_for(ValueError("x")) == "INTERNAL_ERROR"
+        assert error_code_for(ZeroDivisionError()) == "INTERNAL_ERROR"
+
+    def test_every_code_is_documented(self):
+        for error, code in self.CONTRACT:
+            assert code in ERROR_CODES
+        for extra in ("AUTH_FAILED", "UNSUPPORTED", "INTERNAL_ERROR"):
+            assert extra in ERROR_CODES
+
+
+class TestValuePlumbing:
+    def test_jsonable_row_passthrough(self):
+        row = (1, 2.5, "x", True, None)
+        assert jsonable_row(row) == [1, 2.5, "x", True, None]
+
+    def test_jsonable_row_degrades_exotic_values(self):
+        class Weird:
+            def __str__(self):
+                return "weird"
+
+        assert jsonable_row((Weird(),)) == ["weird"]
+
+    def test_budget_roundtrip(self):
+        budget = QueryBudget(timeout_ms=250, max_rows=10)
+        wire = budget_to_wire(budget)
+        assert wire == {"timeout_ms": 250, "max_rows": 10}
+        assert budget_from_wire(wire) == budget
+        assert budget_from_wire(None) is None
+        assert budget_to_wire(None) is None
+
+    def test_budget_unknown_knob_rejected(self):
+        with pytest.raises(ProtocolError):
+            budget_from_wire({"max_bananas": 3})
+
+    def test_budget_invalid_value_rejected(self):
+        with pytest.raises(ProtocolError):
+            budget_from_wire({"timeout_ms": -5})
+        with pytest.raises(ProtocolError):
+            budget_from_wire("not an object")
