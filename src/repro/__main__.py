@@ -3,7 +3,9 @@
 * no arguments: the in-process interactive shell;
 * ``--serve HOST:PORT``: serve a fresh database over the wire protocol
   (``--auth TOKEN`` requires clients to present the token, and
-  ``--snapshot`` / ``--command-log`` recover state before listening);
+  ``--snapshot`` / ``--command-log`` recover state before listening;
+  ``--data-dir DIR`` instead runs under a self-healing supervisor that
+  owns recovery, checkpoints, and health probes in that directory);
 * ``--connect HOST:PORT``: the same shell, but every statement goes to
   a remote server (``--auth TOKEN`` to authenticate).
 """
@@ -50,6 +52,15 @@ def main(argv: Optional[list] = None) -> None:
         "--command-log", metavar="FILE", default=None,
         help="with --serve: replay this command log before listening",
     )
+    parser.add_argument(
+        "--data-dir", metavar="DIR", default=None,
+        help="with --serve: run under a supervisor that recovers from, "
+             "checkpoints into, and health-probes this directory",
+    )
+    parser.add_argument(
+        "--probe-interval", metavar="SECONDS", type=float, default=5.0,
+        help="with --data-dir: seconds between storage health probes",
+    )
     args = parser.parse_args(argv)
     if args.serve and args.connect:
         parser.error("--serve and --connect are mutually exclusive")
@@ -68,20 +79,42 @@ def _serve(args) -> None:
     from .server import Server
 
     host, port = args.serve
-    if args.snapshot or args.command_log:
+    supervisor = None
+    if args.data_dir:
+        if args.snapshot or args.command_log:
+            raise SystemExit(
+                "error: --data-dir manages its own snapshot and command "
+                "log; it cannot be combined with --snapshot/--command-log"
+            )
+        from .resilience.supervisor import Supervisor
+
+        supervisor = Supervisor(
+            args.data_dir, probe_interval=args.probe_interval
+        )
+        supervisor.start()
+        db = supervisor.database
+    elif args.snapshot or args.command_log:
         db = Database.recover(
             snapshot=args.snapshot, command_log=args.command_log
         )
     else:
         db = Database()
-    server = Server(db, host=host, port=port, auth_token=args.auth).start()
+    server = Server(
+        db, host=host, port=port, auth_token=args.auth, supervisor=supervisor
+    ).start()
+    if supervisor is not None:
+        supervisor.start_probes()
     bound_host, bound_port = server.address
     print(f"repro server listening on {bound_host}:{bound_port}")
+    if supervisor is not None:
+        print(f"supervised data dir: {supervisor.data_dir}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\ndraining...")
         server.shutdown(drain=True)
+        if supervisor is not None:
+            supervisor.stop()
 
 
 def _connect(args) -> None:

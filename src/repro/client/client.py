@@ -17,12 +17,22 @@ carrying the **stable** wire code (``error.code == "TIMEOUT"``,
 :class:`~repro.errors.ClientConnectionError`.
 
 Reconnect policy (``reconnect=True``): when the connection drops the
-client transparently redials and retries **once** — but only for
-requests that are safe to repeat (SELECT / EXPLAIN statements, PING,
-METRICS, SET_BUDGET). A write whose frame may have reached the server
-is *never* retried: its outcome is unknown, and retrying could apply
-it twice; the caller gets :class:`ClientConnectionError` and decides.
-Prepared statements are re-prepared automatically after a reconnect.
+client transparently redials — under the shared
+:class:`~repro.resilience.retry.RetryPolicy`, so repeated dials back
+off with jitter instead of hammering a restarting server — and retries
+the request, but only when it is safe to repeat (SELECT / EXPLAIN
+statements, PING, METRICS, SET_BUDGET). A write whose frame may have
+reached the server is *never* retried: its outcome is unknown, and
+retrying could apply it twice; the caller gets
+:class:`ClientConnectionError` and decides. Prepared statements are
+re-prepared automatically after a reconnect.
+
+Backpressure policy: an ``OVERLOADED`` error means the server's write
+queue was full and the statement was **never admitted** — uniquely
+safe to retry, write or not. The client honors the pushback by backing
+off under the same policy before retrying, a bounded number of times;
+``client.stats`` and the ``repro_client_*`` metrics expose how often
+that happened.
 """
 
 from __future__ import annotations
@@ -33,10 +43,22 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.result import ResultSet
 from ..errors import ClientConnectionError, ProtocolError, RemoteError
+from ..observability.metrics import recording_registry
+from ..resilience.retry import RetryPolicy
 from ..server import protocol
 
 #: Statement prefixes that are safe to retry after a reconnect.
 _IDEMPOTENT_PREFIXES = ("SELECT", "EXPLAIN", "WITH")
+
+
+def default_client_retry() -> RetryPolicy:
+    """The client's default backoff: 4 attempts, 50ms..1s, jittered
+    (the jitter is what keeps a fleet of clients from re-dialing a
+    restarted server in lockstep)."""
+    return RetryPolicy(
+        base_delay=0.05, max_delay=1.0, multiplier=2.0, jitter=0.25,
+        max_attempts=4,
+    )
 
 
 def _is_idempotent_sql(sql: str) -> bool:
@@ -75,6 +97,7 @@ class Client:
         timeout: Optional[float] = None,
         connect_timeout: float = 5.0,
         reconnect: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.host = host
         self.port = port
@@ -83,6 +106,16 @@ class Client:
         self.timeout = timeout
         self.connect_timeout = connect_timeout
         self.reconnect = reconnect
+        #: Shared backoff for redials and OVERLOADED retries.
+        self.retry_policy = retry_policy or default_client_retry()
+        #: Attempt counters: how often this client was pushed back or
+        #: had to redial (mirrored into the metrics registry).
+        self.stats: Dict[str, int] = {
+            "reconnects": 0,
+            "reconnect_attempts": 0,
+            "overloaded_retries": 0,
+            "overloaded_gave_up": 0,
+        }
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
         self._next_id = 0
@@ -249,6 +282,17 @@ class Client:
             message["filter"] = filter
         return self._request(message, retry=self.reconnect)["text"]
 
+    def health(self) -> Dict[str, Any]:
+        """The server's HEALTH report: health state, liveness,
+        read/write readiness, and (when a supervisor runs the node)
+        its checkpoint/probe/heal counters."""
+        reply = self._request({"type": "HEALTH"}, retry=self.reconnect)
+        return {
+            key: value
+            for key, value in reply.items()
+            if key not in ("type", "id")
+        }
+
     # ------------------------------------------------------------------
     # request plumbing
     # ------------------------------------------------------------------
@@ -273,6 +317,35 @@ class Client:
         return self._roundtrip(message, retry=retry, until=None)[0]
 
     def _roundtrip(self, message, retry: bool, until: Optional[str]):
+        """One request with the backpressure loop around it.
+
+        OVERLOADED means the statement was never admitted to the write
+        queue, so retrying can never double-apply — the *only* error
+        that is retry-safe even for writes. The backoff happens outside
+        the request lock: sleeping while holding it would stall every
+        other thread sharing this client.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._roundtrip_transport(message, retry, until)
+            except RemoteError as error:
+                if error.code != "OVERLOADED":
+                    raise
+                policy = self.retry_policy
+                if (
+                    policy.max_attempts is not None
+                    and attempt >= policy.max_attempts
+                ):
+                    self.stats["overloaded_gave_up"] += 1
+                    self._count("repro_client_overload_giveups_total")
+                    raise
+                self.stats["overloaded_retries"] += 1
+                self._count("repro_client_overload_retries_total")
+                policy.sleep(policy.delay(attempt))
+
+    def _roundtrip_transport(self, message, retry: bool, until: Optional[str]):
         with self._lock:
             try:
                 return self._roundtrip_locked(message, until)
@@ -280,14 +353,39 @@ class Client:
                 self._drop_connection()
                 if not retry or not self.reconnect:
                     raise
-            # the request never produced a reply and is safe to repeat:
-            # redial once and try again
-            self._connect_locked()
-            try:
-                return self._roundtrip_locked(message, until)
-            except ClientConnectionError:
-                self._drop_connection()
-                raise
+            # The request never produced a reply and is safe to repeat:
+            # redial under the shared policy (backed off, jittered),
+            # then retry the request on the fresh connection.
+            policy = self.retry_policy
+            dial = 0
+            while True:
+                dial += 1
+                self.stats["reconnect_attempts"] += 1
+                try:
+                    self._connect_locked()
+                except ClientConnectionError:
+                    self._drop_connection()
+                    if (
+                        policy.max_attempts is not None
+                        and dial >= policy.max_attempts
+                    ):
+                        raise
+                    policy.sleep(policy.delay(dial))
+                    continue
+                self.stats["reconnects"] += 1
+                self._count("repro_client_reconnects_total")
+                try:
+                    return self._roundtrip_locked(message, until)
+                except ClientConnectionError:
+                    self._drop_connection()
+                    raise
+
+    def _count(self, name: str) -> None:
+        registry = recording_registry()
+        if registry is not None:
+            registry.counter(
+                name, help="Client retry/backoff events."
+            ).inc()
 
     def _roundtrip_locked(self, message, until: Optional[str]):
         if self._sock is None:

@@ -74,10 +74,32 @@ import warnings
 import zlib
 from typing import Callable, Iterator, List, Optional, Tuple
 
-from ..errors import RecoveryError
+from ..errors import DurabilityError, RecoveryError
 from ..observability.metrics import recording_registry
+from ..resilience.faults import (
+    SITE_LOG_FSYNC,
+    SITE_LOG_TRUNCATE,
+    SITE_LOG_WRITE,
+    FaultyIO,
+    check_site,
+)
+from ..resilience.retry import RetryPolicy
 from ..sql.parser import parse_statement
 from .database import WRITE_STATEMENT_TYPES, Database
+
+
+def default_fsync_retry() -> RetryPolicy:
+    """The bounded fsync retry: 3 attempts, milliseconds apart.
+
+    Deliberately tight — a transient EIO (one bad scheduling of a
+    flaky controller) is absorbed; a disk that fails three fsyncs in a
+    row is not getting better in microseconds, and per fsyncgate the
+    only honest response is to stop acknowledging writes (degrade).
+    """
+    return RetryPolicy(
+        base_delay=0.005, max_delay=0.05, multiplier=2.0, jitter=0.0,
+        max_attempts=3,
+    )
 
 #: Statement types that must be replayed on recovery. Matching on the
 #: parsed AST (rather than on a leading keyword) classifies statements
@@ -261,7 +283,14 @@ class _LogFile:
     observe the durability/throughput tradeoff directly.
     """
 
-    def __init__(self, path: str, sync: str = "commit", batch_interval: int = 64):
+    def __init__(
+        self,
+        path: str,
+        sync: str = "commit",
+        batch_interval: int = 64,
+        io: Optional[FaultyIO] = None,
+        fsync_retry: Optional[RetryPolicy] = None,
+    ):
         if sync not in _SYNC_POLICIES:
             raise ValueError(
                 f"sync must be one of {_SYNC_POLICIES}, got {sync!r}"
@@ -273,10 +302,15 @@ class _LogFile:
         self.sync = sync
         self.batch_interval = batch_interval
         self.fsync_count = 0
+        #: Transient fsync failures absorbed by the bounded retry.
+        self.fsync_retries = 0
         self._unsynced_batches = 0
+        self._io = io  # explicit injector; ambient one used when None
+        self._fsync_retry = fsync_retry or default_fsync_retry()
         self._handle = open(self.path, "a")
 
     def write_line(self, line: str) -> None:
+        check_site(SITE_LOG_WRITE, handle=self._handle, data=line, io=self._io)
         self._handle.write(line)
 
     def commit_batch(self) -> None:
@@ -295,8 +329,25 @@ class _LogFile:
         self._fsync()
 
     def _fsync(self) -> None:
+        """fsync with the bounded retry; OSError here means the retry
+        was exhausted and the disk is genuinely refusing durability."""
         started = time.perf_counter()
-        os.fsync(self._handle.fileno())
+
+        def attempt() -> None:
+            check_site(SITE_LOG_FSYNC, io=self._io)
+            os.fsync(self._handle.fileno())
+
+        def note_retry(_attempt: int, _error: BaseException) -> None:
+            self.fsync_retries += 1
+            retry_registry = recording_registry()
+            if retry_registry is not None:
+                retry_registry.counter(
+                    "repro_fsync_retries_total",
+                    help="Transient fsync failures absorbed by the "
+                    "bounded retry.",
+                ).inc()
+
+        self._fsync_retry.call(attempt, retry_on=(OSError,), on_retry=note_retry)
         self.fsync_count += 1
         self._unsynced_batches = 0
         registry = recording_registry()
@@ -311,13 +362,20 @@ class _LogFile:
             ).observe((time.perf_counter() - started) * 1000.0)
 
     def truncate(self) -> None:
+        check_site(SITE_LOG_TRUNCATE, io=self._io)
         self._handle.flush()
         self._handle.truncate(0)
 
     def close(self) -> None:
         if not self._handle.closed:
-            self._handle.flush()
-            self._handle.close()
+            try:
+                self._handle.flush()
+            except OSError:
+                pass  # best effort: closing a handle over a broken disk
+            try:
+                self._handle.close()
+            except OSError:
+                pass
 
 
 class CommandLog:
@@ -336,10 +394,17 @@ class CommandLog:
         sync: str = "commit",
         epoch: Optional[int] = None,
         batch_interval: int = 64,
+        io: Optional[FaultyIO] = None,
+        fsync_retry: Optional[RetryPolicy] = None,
     ):
         self.database = database
-        self._file = _LogFile(path, sync=sync, batch_interval=batch_interval)
+        self._file = _LogFile(
+            path, sync=sync, batch_interval=batch_interval,
+            io=io, fsync_retry=fsync_retry,
+        )
         self.path = self._file.path
+        #: The OSError that last degraded this log, for ``\health``.
+        self.last_durable_error: Optional[str] = None
         self.epoch = epoch
         self.last_sequence = 0
         #: Sequence number at the last truncation: records with
@@ -372,6 +437,10 @@ class CommandLog:
     def fsync_count(self) -> int:
         return self._file.fsync_count
 
+    @property
+    def fsync_retries(self) -> int:
+        return self._file.fsync_retries
+
     def sync_now(self) -> None:
         self._file.sync_now()
 
@@ -381,20 +450,54 @@ class CommandLog:
         if self.pre_append_hook is not None:
             self.pre_append_hook()
         records: List[LogRecord] = []
-        for sql in statements:
-            if self.epoch is None:
-                self._file.write_line(_format_line(sql))
-            else:
-                self.last_sequence += 1
-                record = LogRecord(self.epoch, self.last_sequence, sql)
-                self._file.write_line(
-                    format_record(record.epoch, record.sequence, record.sql)
-                )
-                records.append(record)
-        self._file.commit_batch()
+        try:
+            for sql in statements:
+                if self.epoch is None:
+                    self._file.write_line(_format_line(sql))
+                else:
+                    self.last_sequence += 1
+                    record = LogRecord(self.epoch, self.last_sequence, sql)
+                    self._file.write_line(
+                        format_record(record.epoch, record.sequence, record.sql)
+                    )
+                    records.append(record)
+            self._file.commit_batch()
+        except OSError as error:
+            # A SimulatedCrash passes straight through (the process is
+            # "dead"); an OSError is the disk refusing durability after
+            # the bounded retry — degrade instead of acknowledging.
+            self._durability_failure(error)
         if self.on_record is not None:
             for record in records:
                 self.on_record(record)
+
+    def _durability_failure(self, error: OSError) -> None:
+        """The durable-write path failed: record it, degrade the
+        database, and refuse the acknowledgement.
+
+        The statement's in-memory effect may be visible until recovery
+        discards it — that does not break the contract, which is
+        *acknowledged ⇒ durable*, and this statement is precisely the
+        one never acknowledged.
+        """
+        self.last_durable_error = f"{type(error).__name__}: {error}"
+        registry = recording_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_durability_failures_total",
+                help="Durable-write failures that degraded the engine.",
+            ).inc()
+        health = getattr(self.database, "health", None)
+        if health is not None:
+            health.mark_degraded(
+                "command-log append failed; entering read-only mode",
+                error=error,
+            )
+        raise DurabilityError(
+            f"durable write to {self.path} failed ({error}); the database "
+            "is now DEGRADED (read-only) — the statement was not "
+            "acknowledged and will not survive recovery"
+        ) from error
 
     def _execute(self, sql: str, budget=None, **kwargs):
         result = self._original_execute(sql, budget=budget, **kwargs)
@@ -407,8 +510,11 @@ class CommandLog:
 
     def _commit(self):
         self._original_commit()
-        self._append(self._pending)
-        self._pending = []
+        # Swap before appending: if the append fails (degraded mode),
+        # the next commit must not re-append — or double-apply — these
+        # statements.
+        pending, self._pending = self._pending, []
+        self._append(pending)
 
     def _rollback(self):
         self._original_rollback()
@@ -478,14 +584,22 @@ def enable_command_log(
     path: str,
     sync: str = "commit",
     epoch: Optional[int] = None,
+    batch_interval: int = 64,
+    io: Optional[FaultyIO] = None,
+    fsync_retry: Optional[RetryPolicy] = None,
 ) -> CommandLog:
     """Attach a command log to ``database``; returns the log handle.
 
     ``sync`` selects the durability policy (``"commit"`` | ``"batch"``
-    | ``"off"``, see the module docstring); ``epoch`` enables
-    replication framing.
+    | ``"off"``, see the module docstring) and ``batch_interval`` the
+    commits-per-fsync under ``"batch"``; ``epoch`` enables replication
+    framing; ``io`` / ``fsync_retry`` override the fault injector and
+    the bounded fsync retry policy (tests).
     """
-    return CommandLog(database, path, sync=sync, epoch=epoch)
+    return CommandLog(
+        database, path, sync=sync, epoch=epoch,
+        batch_interval=batch_interval, io=io, fsync_retry=fsync_retry,
+    )
 
 
 def _complete_lines(raw: str) -> Tuple[List[str], bool]:
@@ -570,8 +684,17 @@ def replay_log(
     path: str,
     database: Optional[Database] = None,
     on_error: str = "abort",
+    from_sequence: int = 0,
 ) -> Database:
     """Re-execute a command log against ``database`` (new by default).
+
+    ``from_sequence`` skips framed records at or below that position —
+    the checkpoint-recovery contract: a snapshot embedding replication
+    position S means every record with ``sequence <= S`` is already in
+    the snapshot, and replaying it again would double-apply (a crash
+    between the snapshot rename and the log truncation leaves exactly
+    that overlap on disk). Legacy unframed lines carry no position and
+    are always replayed.
 
     ``on_error`` selects the policy for corrupt lines (checksum
     mismatch) and statements that fail to re-execute:
@@ -617,6 +740,8 @@ def replay_log(
         frame = _parse_frame(payload) if crc_hex is not None else None
         if frame is not None:
             epoch, sequence, payload = frame
+            if sequence <= from_sequence:
+                continue  # already covered by the snapshot
         sql = _decode(payload)
         try:
             db.apply_replicated(sql)

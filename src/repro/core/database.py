@@ -30,6 +30,7 @@ from .. import budget as budget_module
 from ..budget import CancellationToken, QueryBudget
 from ..errors import (
     CatalogError,
+    DegradedError,
     ExecutionError,
     PlanningError,
     QueryCancelledError,
@@ -45,6 +46,7 @@ from ..observability.metrics import recording_registry
 from ..observability.slowlog import SlowQueryLog
 from ..observability.tracer import QueryTracer
 from ..planner.options import PlannerOptions
+from ..resilience.health import HealthMonitor
 from ..planner.rewrite import find_relational_aggregates
 from ..planner.select_planner import PlannedQuery, SelectPlanner
 from ..sql import ast, parse_script, parse_statement
@@ -118,6 +120,15 @@ class Database:
         #: "replica". Replicas reject client writes (see set_role).
         self.role = "standalone"
         self._replica_apply_depth = 0
+        #: Engine health: a durable-write failure flips this to
+        #: DEGRADED and the database becomes read-only (see
+        #: :mod:`repro.resilience.health`).
+        self.health = HealthMonitor()
+        #: Replication position embedded in the snapshot this database
+        #: was restored from (``{"epoch": E, "sequence": S}`` or None);
+        #: set by :func:`~repro.core.snapshot.restore_into` so recovery
+        #: replays only the log records past the snapshot.
+        self.snapshot_replication: Optional[Dict[str, Any]] = None
         self._undo_listener = UndoListener(self.transactions)
         #: Bounded log of statements slower than the configured
         #: threshold (off until :meth:`set_slow_query_threshold`).
@@ -477,6 +488,12 @@ class Database:
         :class:`~repro.core.command_log.RecoveryReport` in
         ``db.recovery_report`` describing replayed statements, any
         dropped torn tail, and skipped corrupt lines.
+
+        When the snapshot embeds a replication position (checkpoints
+        written by the supervisor do), replay resumes *after* that
+        position: a crash between the checkpoint's snapshot rename and
+        its log truncation leaves the snapshot and the log overlapping,
+        and replaying the overlap would double-apply it.
         """
         from .command_log import replay_log
         from .snapshot import load_snapshot
@@ -485,7 +502,13 @@ class Database:
         if snapshot is not None:
             load_snapshot(snapshot, database)
         if command_log is not None:
-            replay_log(command_log, database, on_error=on_error)
+            position = database.snapshot_replication or {}
+            replay_log(
+                command_log,
+                database,
+                on_error=on_error,
+                from_sequence=int(position.get("sequence", 0) or 0),
+            )
         return database
 
     def load_rows(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
@@ -515,6 +538,19 @@ class Database:
             raise ReadOnlyError(
                 f"{type(statement).__name__} rejected: this database is a "
                 "read-only replica (writes go to the primary)"
+            )
+        if (
+            self._replica_apply_depth == 0
+            and isinstance(statement, WRITE_STATEMENT_TYPES)
+            and not self.health.allows_writes()
+        ):
+            # Recovery and replication replay through apply_replicated
+            # (depth > 0): the supervisor must be able to rebuild state
+            # while the engine is RECOVERING.
+            raise DegradedError(
+                f"{type(statement).__name__} rejected: the database is "
+                f"{self.health.state} (read-only) — "
+                f"{self.health.reason or 'durable writes are unavailable'}"
             )
         if isinstance(statement, ast.Explain):
             text = self._explain_statement(statement.statement, statement.analyze)

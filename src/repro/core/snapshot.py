@@ -26,12 +26,20 @@ unverified, for compatibility.
 from __future__ import annotations
 
 import json
+import os
 import time
 import zlib
 from typing import Any, Dict, List, Optional
 
 from ..errors import RecoveryError
 from ..observability.metrics import recording_registry
+from ..resilience.faults import (
+    SITE_SNAPSHOT_FSYNC,
+    SITE_SNAPSHOT_RENAME,
+    SITE_SNAPSHOT_WRITE,
+    FaultyIO,
+    check_site,
+)
 from ..graph.graph_view import ExtraAttributeSource, GraphView
 from ..sql.render import render_select
 from ..storage.index import HashIndex, OrderedIndex
@@ -217,18 +225,49 @@ def snapshot_to_dict(
     return document
 
 
+def snapshot_temp_path(path: str) -> str:
+    """The temp file a snapshot of ``path`` is staged in. One fixed
+    name per snapshot path (not a random suffix): a crash mid-snapshot
+    leaves at most one stale temp file, which the next write — or the
+    supervisor's startup sweep — simply replaces."""
+    return f"{path}.tmp"
+
+
 def save_snapshot(
     database: Database,
     path: str,
     replication: Optional[Dict[str, Any]] = None,
+    io: Optional[FaultyIO] = None,
 ) -> None:
-    """Write the database to ``path`` as a JSON snapshot."""
+    """Write the database to ``path`` as a JSON snapshot, atomically.
+
+    The document is staged in ``path + ".tmp"``, flushed, fsync'd, and
+    renamed into place with ``os.replace`` — at every instant ``path``
+    is either the complete old snapshot or the complete new one, never
+    a torn hybrid. On an OSError the temp file is removed (best
+    effort) and the error propagates; after a crash the stale temp
+    file is swept by the supervisor at startup.
+    """
     started = time.perf_counter()
     document = snapshot_to_dict(database, replication=replication)
-    with open(path, "w") as handle:
-        json.dump(document, handle)
-        handle.flush()
-        size_bytes = handle.tell()
+    tmp_path = snapshot_temp_path(path)
+    payload = json.dumps(document)
+    size_bytes = len(payload.encode("utf-8"))
+    try:
+        with open(tmp_path, "w") as handle:
+            check_site(SITE_SNAPSHOT_WRITE, handle=handle, data=payload, io=io)
+            handle.write(payload)
+            handle.flush()
+            check_site(SITE_SNAPSHOT_FSYNC, io=io)
+            os.fsync(handle.fileno())
+        check_site(SITE_SNAPSHOT_RENAME, io=io)
+        os.replace(tmp_path, path)
+    except OSError:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     registry = recording_registry()
     if registry is not None:
         registry.counter(
@@ -245,8 +284,13 @@ def save_snapshot(
 
 
 def restore_into(document: Dict[str, Any], database: Database) -> Database:
-    """Replay a snapshot document into a (fresh) database."""
+    """Replay a snapshot document into a (fresh) database.
+
+    The document's embedded replication position (if any) is kept on
+    the database as ``snapshot_replication`` so recovery knows which
+    command-log prefix the snapshot already covers."""
     verify_snapshot_document(document)
+    database.snapshot_replication = document.get("replication")
     for entry in document["tables"]:
         database.apply_replicated(entry["ddl"])
         database.load_rows(entry["name"], entry["rows"])

@@ -124,6 +124,35 @@ class DivergenceError(ReplicationError):
     """
 
 
+class DurabilityError(ExecutionError):
+    """Raised when the durable-write path (command-log append / fsync)
+    fails at the operating-system level after its bounded retry.
+
+    The fsyncgate lesson: a failed fsync may have silently dropped
+    page-cache data, so the engine must not keep acknowledging writes
+    against a log it can no longer trust. Raising this error is paired
+    with flipping the database's :class:`~repro.resilience.health.
+    HealthMonitor` into DEGRADED (read-only) mode. The in-memory effect
+    of the failed statement may be visible until recovery — the
+    guarantee is *acknowledged ⇒ durable*, and this statement was never
+    acknowledged. Wire code: ``DURABILITY_ERROR``.
+    """
+
+
+class DegradedError(ExecutionError):
+    """Raised when a write reaches a database in DEGRADED (read-only)
+    health state.
+
+    A previous durable-write failure demoted the node: reads keep
+    flowing from intact in-memory state, but no new write can be made
+    durable, so none is accepted. Clients should fail writes over to a
+    healthy node (or wait for the supervisor to self-heal). Wire code:
+    ``DEGRADED`` — distinct from ``READ_ONLY`` (a *role*, permanent by
+    configuration) because degraded mode is a *condition*, expected to
+    clear.
+    """
+
+
 class OverloadedError(DatabaseError):
     """Raised by the server's admission control when the single-writer
     queue is full.

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 from ..core.database import sql_is_write as _is_write
 from ..errors import ReplicationError
 from ..observability.metrics import recording_registry
+from ..resilience.retry import RetryPolicy
 from .fault_injection import FaultInjector
 from .primary import Primary
 from .replica import Replica
@@ -60,6 +61,14 @@ class ReplicationManager:
         self.heartbeat_timeout = heartbeat_timeout
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        #: The shared retry machinery, in logical ticks: jitter stays 0
+        #: so chaos runs remain bit-for-bit replayable from their seed.
+        self.reconnect_policy = RetryPolicy(
+            base_delay=backoff_base,
+            max_delay=backoff_cap,
+            multiplier=2.0,
+            jitter=0.0,
+        )
         self.max_await_steps = max_await_steps
         self.injector = injector
         self.replicas: Dict[str, Replica] = {}
@@ -230,13 +239,13 @@ class ReplicationManager:
     def _schedule_reconnect(self, name: str, kind: str) -> None:
         if name in self._pending_reconnects:
             return
-        attempt = self._backoff_attempts.get(name, 0)
-        delay = min(self.backoff_base * (2 ** attempt), self.backoff_cap)
-        self._backoff_attempts[name] = attempt + 1
+        attempt = self._backoff_attempts.get(name, 0) + 1
+        delay = int(self.reconnect_policy.delay(attempt))
+        self._backoff_attempts[name] = attempt
         entry = {
             "name": name,
             "kind": kind,
-            "attempt": attempt + 1,
+            "attempt": attempt,
             "delay": delay,
             "due": self.tick + delay,
         }

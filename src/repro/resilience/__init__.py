@@ -1,0 +1,60 @@
+"""Resilience: storage fault injection, degraded modes, self-healing.
+
+Four pieces, layered so the core engine can import the light ones:
+
+* :mod:`~repro.resilience.faults` — seeded filesystem fault injector
+  (:class:`FaultyIO`) consulted by the storage layer at named sites.
+* :mod:`~repro.resilience.retry` — the shared :class:`RetryPolicy`
+  (jittered exponential backoff) and :class:`CircuitBreaker`.
+* :mod:`~repro.resilience.health` — the HEALTHY → DEGRADED →
+  RECOVERING → FAILED state machine every :class:`Database` carries.
+* :mod:`~repro.resilience.supervisor` — process-lifecycle manager:
+  recovery on restart, checkpoints, health probes, self-heal. Import it
+  as a submodule (``from repro.resilience.supervisor import
+  Supervisor``); it depends on the core engine, so it is *not*
+  re-exported here — that would make ``core.database`` →
+  ``resilience.health`` a circular import.
+* :mod:`~repro.resilience.matrix` — the crash-point matrix harness
+  (also a submodule, runnable as ``python -m repro.resilience.matrix``).
+"""
+
+from .faults import (
+    FAULT_KINDS,
+    STORAGE_SITES,
+    FaultyIO,
+    ambient_io,
+    check_site,
+    injected,
+    install,
+    register_storage_site,
+    uninstall,
+)
+from .health import (
+    DEGRADED,
+    FAILED,
+    HEALTHY,
+    RECOVERING,
+    STATES,
+    HealthMonitor,
+)
+from .retry import CircuitBreaker, RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "STORAGE_SITES",
+    "FaultyIO",
+    "ambient_io",
+    "check_site",
+    "injected",
+    "install",
+    "register_storage_site",
+    "uninstall",
+    "HEALTHY",
+    "DEGRADED",
+    "RECOVERING",
+    "FAILED",
+    "STATES",
+    "HealthMonitor",
+    "CircuitBreaker",
+    "RetryPolicy",
+]

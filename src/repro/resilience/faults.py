@@ -1,0 +1,321 @@
+"""Deterministic filesystem fault injection for the storage path.
+
+PR 2's chaos harness proved the *network* path under drop / delay /
+duplicate / reorder faults; this module gives the *storage* path the
+same treatment. A :class:`FaultyIO` is a seeded source of disk
+misbehavior that the durability substrate (``core/command_log.py`` and
+``core/snapshot.py``) consults at **named fault sites** — the storage
+analogue of the replication crash points:
+
+========================================  =================================
+``commandlog.write``                      a record line is about to be
+                                          written to the log file
+``commandlog.fsync``                      the log file is about to be
+                                          fsync'd (the durability point)
+``commandlog.truncate``                   the log is about to be reset
+                                          after a checkpoint snapshot
+``snapshot.write``                        the snapshot JSON is about to be
+                                          written to its temp file
+``snapshot.fsync``                        the temp file is about to be
+                                          fsync'd
+``snapshot.rename``                       the temp file is about to be
+                                          atomically renamed into place
+``checkpoint.before_truncate``            the snapshot is durable but the
+                                          command log has not yet been
+                                          truncated (double-replay window)
+``probe.write`` / ``probe.fsync``         the supervisor's health probe is
+                                          touching the data directory
+========================================  =================================
+
+At each site the injector can fire one of four **fault kinds**:
+
+* ``"crash"`` — the process dies at exactly this instruction
+  (:class:`~repro.replication.fault_injection.SimulatedCrash`, shared
+  with the replication chaos harness so no engine-level handler can
+  swallow it);
+* ``"torn"`` — a random *prefix* of the data is written (and flushed so
+  the bytes really land in the file), then the process dies: the classic
+  torn write;
+* ``"eio"`` — the operation fails with ``OSError(EIO)`` (a dying disk,
+  a failed fsync);
+* ``"enospc"`` — the operation fails with ``OSError(ENOSPC)`` (disk
+  full). Usually armed ``persistent=True``: a full disk stays full.
+
+All randomness (torn-write cut points, generated schedules) comes from
+one ``random.Random(seed)``, so a failing run replays bit-for-bit from
+its seed — the property the crash-point matrix in
+:mod:`repro.resilience.matrix` is built on.
+
+Injection is opt-in and ambient: production code calls
+:func:`check_site`, which is a no-op unless a test (or the matrix
+harness) has installed an injector with :func:`install` /
+:func:`injected`. The storage layer pays one ``is None`` check per
+durable operation when injection is off.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import threading
+from typing import Dict, List, Optional, Tuple
+
+
+def _simulated_crash(site: str):
+    # Imported lazily: faults is imported by core.command_log, and the
+    # replication package's __init__ imports core.command_log back —
+    # a module-level import here would close that cycle.
+    from ..replication.fault_injection import SimulatedCrash
+
+    return SimulatedCrash(site)
+
+
+#: Every named storage fault site, ``name -> (description, valid kinds)``.
+#: The crash-point matrix iterates this to cover all of them.
+STORAGE_SITES: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+
+#: All fault kinds an injector can fire.
+FAULT_KINDS = ("crash", "torn", "eio", "enospc")
+
+
+def register_storage_site(
+    name: str, description: str = "", kinds: Tuple[str, ...] = FAULT_KINDS
+) -> str:
+    """Declare a storage fault site; returns ``name`` for use as a constant."""
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+    STORAGE_SITES[name] = (description, tuple(kinds))
+    return name
+
+
+SITE_LOG_WRITE = register_storage_site(
+    "commandlog.write",
+    "a command-log record line is about to be written",
+)
+SITE_LOG_FSYNC = register_storage_site(
+    "commandlog.fsync",
+    "the command log is about to be fsync'd (the durability point)",
+    kinds=("crash", "eio", "enospc"),
+)
+SITE_LOG_TRUNCATE = register_storage_site(
+    "commandlog.truncate",
+    "the command log is about to be truncated after a checkpoint",
+    kinds=("crash", "eio"),
+)
+SITE_SNAPSHOT_WRITE = register_storage_site(
+    "snapshot.write",
+    "the snapshot document is about to be written to its temp file",
+)
+SITE_SNAPSHOT_FSYNC = register_storage_site(
+    "snapshot.fsync",
+    "the snapshot temp file is about to be fsync'd",
+    kinds=("crash", "eio", "enospc"),
+)
+SITE_SNAPSHOT_RENAME = register_storage_site(
+    "snapshot.rename",
+    "the snapshot temp file is about to be renamed into place",
+    kinds=("crash", "eio"),
+)
+SITE_CHECKPOINT_TRUNCATE = register_storage_site(
+    "checkpoint.before_truncate",
+    "the checkpoint snapshot is durable; the command log is not yet "
+    "truncated (recovery must not double-apply the overlap)",
+    kinds=("crash",),
+)
+SITE_PROBE_WRITE = register_storage_site(
+    "probe.write",
+    "the supervisor's health probe is writing its probe file",
+    kinds=("eio", "enospc"),
+)
+SITE_PROBE_FSYNC = register_storage_site(
+    "probe.fsync",
+    "the supervisor's health probe is fsync'ing its probe file",
+    kinds=("eio", "enospc"),
+)
+
+
+class FaultPlan:
+    """One armed fault: fire ``kind`` on the ``after``-th hit of ``site``.
+
+    ``persistent`` plans keep firing on every hit once triggered (a full
+    disk stays full); transient plans fire exactly once (a single bad
+    sector, a spurious EIO a bounded retry can absorb).
+    """
+
+    __slots__ = ("site", "kind", "after", "persistent", "remaining", "fired")
+
+    def __init__(self, site: str, kind: str, after: int, persistent: bool):
+        self.site = site
+        self.kind = kind
+        self.after = after
+        self.persistent = persistent
+        self.remaining = after
+        self.fired = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan({self.site}, {self.kind}, after={self.after}, "
+            f"persistent={self.persistent}, fired={self.fired})"
+        )
+
+
+class FaultyIO:
+    """A seeded filesystem fault injector for the storage layer.
+
+    ::
+
+        io = FaultyIO(seed=7)
+        io.inject(SITE_LOG_FSYNC, "eio", persistent=True)
+        with injected(io):
+            db.execute("INSERT ...")   # raises DurabilityError, degrades
+
+    ``counts`` / ``injected_log`` record every fault actually fired so a
+    test can assert its chaos really happened.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.random = random.Random(seed)
+        self._plans: Dict[str, FaultPlan] = {}
+        self.counts: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        #: ``(site, kind)`` per fault fired, in order.
+        self.injected_log: List[Tuple[str, str]] = []
+        #: Total site hits (fired or not), per site — lets the matrix
+        #: harness learn how often each site is reached by a workload.
+        self.hits: Dict[str, int] = {}
+
+    def inject(
+        self,
+        site: str,
+        kind: str = "eio",
+        after: int = 1,
+        persistent: bool = False,
+    ) -> None:
+        """Arm ``site`` to fire ``kind`` on its ``after``-th hit."""
+        if site not in STORAGE_SITES:
+            raise ValueError(
+                f"unknown storage site {site!r}; registered: "
+                f"{sorted(STORAGE_SITES)}"
+            )
+        _description, valid = STORAGE_SITES[site]
+        if kind not in valid:
+            raise ValueError(
+                f"fault kind {kind!r} is not valid at {site} "
+                f"(valid: {valid})"
+            )
+        if after < 1:
+            raise ValueError("after must be >= 1")
+        self._plans[site] = FaultPlan(site, kind, after, persistent)
+
+    def clear(self, site: Optional[str] = None) -> None:
+        """Disarm one site (or, with no argument, every site)."""
+        if site is None:
+            self._plans.clear()
+        else:
+            self._plans.pop(site, None)
+
+    def armed(self, site: Optional[str] = None) -> bool:
+        if site is None:
+            return bool(self._plans)
+        return site in self._plans
+
+    # ------------------------------------------------------------------
+
+    def check(self, site: str, handle=None, data: Optional[str] = None) -> None:
+        """Called by instrumented storage code at fault site ``site``.
+
+        May raise ``OSError`` (``eio`` / ``enospc``) or
+        :class:`SimulatedCrash` (``crash`` / ``torn``); for ``torn`` a
+        random prefix of ``data`` is written to ``handle`` and flushed
+        first, so the partial bytes genuinely land in the file the way a
+        real torn write would leave them.
+        """
+        self.hits[site] = self.hits.get(site, 0) + 1
+        plan = self._plans.get(site)
+        if plan is None:
+            return
+        if plan.remaining > 1:
+            plan.remaining -= 1
+            return
+        if plan.fired and not plan.persistent:
+            return
+        plan.remaining = 0
+        plan.fired += 1
+        kind = plan.kind
+        self.counts[kind] += 1
+        self.injected_log.append((site, kind))
+        if not plan.persistent:
+            del self._plans[site]
+        if kind == "crash":
+            raise _simulated_crash(site)
+        if kind == "torn":
+            if handle is not None and data:
+                cut = self.random.randrange(0, len(data))
+                if cut:
+                    handle.write(data[:cut])
+                    handle.flush()
+            raise _simulated_crash(site)
+        if kind == "eio":
+            raise OSError(errno.EIO, f"injected I/O error at {site}")
+        raise OSError(errno.ENOSPC, f"injected disk-full at {site}")
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultyIO(seed={self.seed}, "
+            f"armed={sorted(self._plans) or 'none'}, "
+            f"fired={self.injected_log or 'none'})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# ambient installation
+# ---------------------------------------------------------------------------
+
+_ambient_lock = threading.Lock()
+_ambient: Optional[FaultyIO] = None
+
+
+def install(io: FaultyIO) -> FaultyIO:
+    """Install ``io`` as the process-wide ambient injector."""
+    global _ambient
+    with _ambient_lock:
+        _ambient = io
+    return io
+
+
+def uninstall() -> None:
+    global _ambient
+    with _ambient_lock:
+        _ambient = None
+
+
+def ambient_io() -> Optional[FaultyIO]:
+    return _ambient
+
+
+class injected:
+    """``with injected(FaultyIO(...)):`` — scoped ambient installation."""
+
+    def __init__(self, io: FaultyIO):
+        self.io = io
+
+    def __enter__(self) -> FaultyIO:
+        install(self.io)
+        return self.io
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        uninstall()
+        return False
+
+
+def check_site(site: str, handle=None, data: Optional[str] = None,
+               io: Optional[FaultyIO] = None) -> None:
+    """The storage layer's single injection point.
+
+    Uses ``io`` when given, otherwise the ambient injector; a no-op
+    (one ``is None`` check) when neither is installed.
+    """
+    active = io if io is not None else _ambient
+    if active is not None:
+        active.check(site, handle=handle, data=data)

@@ -1,0 +1,337 @@
+"""The crash-point matrix: every storage fault site × kind × seed.
+
+The acknowledged-commit guarantee is only as strong as its weakest
+crash site, so this harness enumerates all of them. For every named
+storage fault site, every fault kind valid there, and every seed in
+the schedule, one **cell** runs:
+
+1. start a :class:`~repro.resilience.supervisor.Supervisor` over a
+   fresh directory; create a relational + graph schema (kv table,
+   nodes, edges, a graph view — so the digests cover topology too);
+2. arm exactly one fault (seeded position for command-log sites, the
+   mid-workload checkpoint for snapshot/checkpoint sites) and run a
+   seeded workload of writes with a checkpoint in the middle,
+   recording every statement that was **acknowledged** (returned
+   without raising);
+3. classify what happened — ``crashed`` (the simulated process died),
+   ``degraded`` (the engine refused the write and went read-only; the
+   cell then *proves the degraded contract*: reads still flow, the
+   next write raises ``DegradedError``), or ``absorbed`` (the engine
+   rode through, e.g. a failed checkpoint that will simply be retried);
+4. "repair the disk" (uninstall the injector), restart through a fresh
+   supervisor, and verify with the replication digests that the
+   recovered state equals the acknowledged prefix — the in-flight
+   statement is allowed to appear (written and flushed but not yet
+   acknowledged is *more* durable than promised, never less), but no
+   acknowledged statement may be missing and nothing else may differ;
+5. prove the recovered node accepts new writes.
+
+A cell fails on any unhandled exception, a digest mismatch, a fault
+that never fired (the site was not reached — a harness bug, not an
+engine pass), or a degraded node that would not serve reads. The CLI
+prints every failing ``(site, kind, seed)`` with a one-line repro
+command and exits non-zero::
+
+    PYTHONPATH=src python -m repro.resilience.matrix --seeds 0,1,2
+    PYTHONPATH=src python -m repro.resilience.matrix --site commandlog.fsync --seeds 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import shutil
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+from ..errors import DegradedError, DurabilityError
+from ..replication.digest import database_digest
+from ..replication.fault_injection import SimulatedCrash
+from .faults import (
+    SITE_PROBE_FSYNC,
+    SITE_PROBE_WRITE,
+    STORAGE_SITES,
+    FaultyIO,
+    injected,
+)
+from .health import DEGRADED
+from .supervisor import Supervisor
+
+#: Sites the matrix covers: the data path. Probe sites are exercised by
+#: the unit tests; a probe fault endangers no data.
+MATRIX_SITES = [
+    site
+    for site in STORAGE_SITES
+    if site not in (SITE_PROBE_WRITE, SITE_PROBE_FSYNC)
+]
+
+_DDL = [
+    "CREATE TABLE kv (k INTEGER PRIMARY KEY, v VARCHAR)",
+    "CREATE TABLE nodes (nId INTEGER PRIMARY KEY, label VARCHAR)",
+    "CREATE TABLE edges (eId INTEGER PRIMARY KEY, src INTEGER, "
+    "dst INTEGER, w INTEGER)",
+    "CREATE DIRECTED GRAPH VIEW MatrixGraph "
+    "VERTEXES(ID = nId, label = label) FROM nodes "
+    "EDGES(ID = eId, FROM = src, TO = dst, weight = w) FROM edges",
+]
+
+
+def _workload(seed: int, steps: int = 20) -> List[str]:
+    """The seeded write workload: kv churn plus graph growth (nodes
+    first, then edges between existing nodes, so integrity holds)."""
+    rng = random.Random(seed)
+    statements: List[str] = []
+    node_ids: List[int] = []
+    for i in range(steps):
+        statements.append(f"INSERT INTO kv VALUES ({i}, 'v{seed}.{i}')")
+        statements.append(f"INSERT INTO nodes VALUES ({i}, 'n{i}')")
+        node_ids.append(i)
+        if len(node_ids) >= 2:
+            src = rng.choice(node_ids[:-1])
+            statements.append(
+                f"INSERT INTO edges VALUES ({i}, {src}, {i}, "
+                f"{rng.randint(1, 9)})"
+            )
+    return statements
+
+
+def _reference_digest(statements: List[str]) -> str:
+    from ..core.database import Database
+
+    db = Database()
+    for sql in _DDL:
+        db.execute(sql)
+    for sql in statements:
+        db.execute(sql)
+    return database_digest(db)["combined"]
+
+
+def run_cell(
+    site: str,
+    kind: str,
+    seed: int,
+    data_dir: Optional[str] = None,
+    steps: int = 20,
+) -> Dict[str, Any]:
+    """Run one (site, kind, seed) cell; returns its report dict with
+    ``"passed"`` and, on failure, ``"failure"`` explaining why."""
+    cell: Dict[str, Any] = {
+        "site": site,
+        "kind": kind,
+        "seed": seed,
+        "passed": False,
+        "outcome": None,
+        "failure": None,
+    }
+    own_dir = data_dir is None
+    directory = data_dir or tempfile.mkdtemp(prefix="repro-matrix-")
+    try:
+        _run_cell_inner(cell, site, kind, seed, directory, steps)
+    except Exception as error:  # anything uncaught is exactly the bug
+        cell["failure"] = (
+            f"unhandled {type(error).__name__}: {error}"
+        )
+    finally:
+        if own_dir:
+            shutil.rmtree(directory, ignore_errors=True)
+    return cell
+
+
+def _run_cell_inner(
+    cell: Dict[str, Any],
+    site: str,
+    kind: str,
+    seed: int,
+    directory: str,
+    steps: int,
+) -> None:
+    rng = random.Random(seed * 7919 + 17)
+    supervisor = Supervisor(directory)
+    db = supervisor.start()
+    for sql in _DDL:
+        db.execute(sql)
+    # DDL is acknowledged before the fault is armed; the fault hits the
+    # workload, never the schema.
+    acked: List[str] = list(_DDL[:0])  # workload statements only
+    statements = _workload(seed, steps)
+    checkpoint_at = len(statements) // 2
+    io = FaultyIO(seed=seed)
+    persistent = kind in ("eio", "enospc")
+    if site.startswith("commandlog.") and site != "commandlog.truncate":
+        # Hit a seeded write somewhere in the first half so the
+        # checkpoint (and the second half) can also be in play.
+        io.inject(site, kind, after=rng.randint(1, max(1, checkpoint_at)),
+                  persistent=persistent)
+    else:
+        # snapshot.* / checkpoint.* / commandlog.truncate are only
+        # reached through the checkpoint call.
+        io.inject(site, kind, after=1, persistent=persistent)
+    inflight: Optional[str] = None
+    with injected(io):
+        try:
+            for index, sql in enumerate(statements):
+                if index == checkpoint_at:
+                    supervisor.checkpoint()
+                inflight = sql
+                db.execute(sql)
+                acked.append(sql)
+                inflight = None
+            cell["outcome"] = "absorbed"
+        except SimulatedCrash:
+            cell["outcome"] = "crashed"
+        except DurabilityError:
+            cell["outcome"] = "degraded"
+            failure = _verify_degraded(db)
+            if failure is not None:
+                cell["failure"] = failure
+                return
+    cell["fault_fired"] = list(io.injected_log)
+    if not io.injected_log:
+        cell["failure"] = (
+            f"fault never fired (site {site} not reached by the workload)"
+        )
+        return
+    if cell["outcome"] == "absorbed" and db.health.state != "healthy":
+        cell["failure"] = (
+            f"no error surfaced but health is {db.health.state}"
+        )
+        return
+    # --- the disk is repaired; the process restarts -------------------
+    supervisor.stop(final_sync=False)
+    recovered_sup = Supervisor(directory)
+    recovered = recovered_sup.start()
+    recovered_digest = database_digest(recovered)["combined"]
+    allowed = {_reference_digest(acked): "acked prefix"}
+    if inflight is not None:
+        allowed[_reference_digest(acked + [inflight])] = (
+            "acked prefix + in-flight statement"
+        )
+    if recovered_digest not in allowed:
+        cell["failure"] = (
+            f"digest mismatch after recovery: {recovered_digest} not in "
+            f"{allowed} — an acknowledged commit was lost or state "
+            "diverged"
+        )
+        return
+    cell["recovered_as"] = allowed[recovered_digest]
+    # the recovered node must be writable again
+    recovered.execute("INSERT INTO kv VALUES (9991, 'post-recovery')")
+    count = recovered.execute("SELECT COUNT(*) FROM kv").rows[0][0]
+    if count < 1:
+        cell["failure"] = "post-recovery write did not land"
+        return
+    recovered_sup.stop()
+    cell["passed"] = True
+
+
+def _verify_degraded(db) -> Optional[str]:
+    """The degraded contract: reads flow, writes are refused with
+    DegradedError, health reads DEGRADED."""
+    if db.health.state != DEGRADED:
+        return f"DurabilityError raised but health is {db.health.state}"
+    try:
+        db.execute("SELECT COUNT(*) FROM kv")
+    except Exception as error:
+        return f"degraded node refused a read: {error}"
+    try:
+        db.execute("INSERT INTO kv VALUES (9990, 'should-fail')")
+    except DegradedError:
+        pass
+    except Exception as error:
+        return (
+            f"degraded write rejected with {type(error).__name__}, "
+            "expected DegradedError"
+        )
+    else:
+        return "degraded node accepted a write"
+    return None
+
+
+def run_matrix(
+    seeds: List[int],
+    sites: Optional[List[str]] = None,
+    steps: int = 20,
+) -> Dict[str, Any]:
+    """Run the full matrix; returns the report document."""
+    chosen = sites or MATRIX_SITES
+    cells: List[Dict[str, Any]] = []
+    started = time.time()
+    for site in chosen:
+        _description, kinds = STORAGE_SITES[site]
+        for kind in kinds:
+            for seed in seeds:
+                cells.append(run_cell(site, kind, seed, steps=steps))
+    failures = [cell for cell in cells if not cell["passed"]]
+    return {
+        "seeds": seeds,
+        "sites": chosen,
+        "steps": steps,
+        "cells": len(cells),
+        "passed": len(cells) - len(failures),
+        "failed": len(failures),
+        "duration_seconds": round(time.time() - started, 3),
+        "outcomes": _tally(cells),
+        "failures": failures,
+        "results": cells,
+    }
+
+
+def _tally(cells: List[Dict[str, Any]]) -> Dict[str, int]:
+    tally: Dict[str, int] = {}
+    for cell in cells:
+        key = cell["outcome"] or "error"
+        tally[key] = tally.get(key, 0) + 1
+    return tally
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience.matrix",
+        description="Run the storage crash-point matrix.",
+    )
+    parser.add_argument(
+        "--seeds", default="0,1,2",
+        help="comma-separated seeds (default: 0,1,2)",
+    )
+    parser.add_argument(
+        "--site", action="append", default=None,
+        help="restrict to one site (repeatable; default: all data-path "
+        f"sites: {', '.join(MATRIX_SITES)})",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=20,
+        help="workload length per cell (default: 20)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report here",
+    )
+    options = parser.parse_args(argv)
+    seeds = [int(part) for part in options.seeds.split(",") if part.strip()]
+    report = run_matrix(seeds, sites=options.site, steps=options.steps)
+    if options.out:
+        with open(options.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+    print(
+        f"crash-point matrix: {report['passed']}/{report['cells']} cells "
+        f"passed in {report['duration_seconds']}s "
+        f"(outcomes: {report['outcomes']})"
+    )
+    if report["failed"]:
+        print(f"\n{report['failed']} FAILING cell(s):", file=sys.stderr)
+        for cell in report["failures"]:
+            print(
+                f"  site={cell['site']} kind={cell['kind']} "
+                f"seed={cell['seed']}: {cell['failure']}\n"
+                "    repro: PYTHONPATH=src python -m repro.resilience.matrix "
+                f"--site {cell['site']} --seeds {cell['seed']}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

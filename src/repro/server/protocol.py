@@ -27,6 +27,8 @@ life cycle is::
                                       <- OK
     METRICS {filter?}                 ->
                                       <- METRICS {text}
+    HEALTH                            ->
+                                      <- HEALTH {state, liveness, ...}
     PING                              ->
                                       <- PONG
     CLOSE                             ->
@@ -51,7 +53,9 @@ from ..errors import (
     CatalogError,
     ConstraintViolation,
     DatabaseError,
+    DegradedError,
     DivergenceError,
+    DurabilityError,
     ExecutionError,
     FencedError,
     IntegrityError,
@@ -92,6 +96,8 @@ _ERROR_CODE_TABLE: Tuple[Tuple[type, str], ...] = (
     (ResourceExhaustedError, "BUDGET_EXCEEDED"),
     (QueryCancelledError, "CANCELLED"),
     (ReadOnlyError, "READ_ONLY"),
+    (DegradedError, "DEGRADED"),
+    (DurabilityError, "DURABILITY_ERROR"),
     (IntegrityError, "CONSTRAINT_VIOLATION"),
     (ConstraintViolation, "CONSTRAINT_VIOLATION"),
     (TypeMismatchError, "TYPE_MISMATCH"),
@@ -115,6 +121,10 @@ ERROR_CODES: Dict[str, str] = {
     "BUDGET_EXCEEDED": "statement exceeded a resource-governor cap",
     "CANCELLED": "statement cancelled (client disconnect or kill)",
     "READ_ONLY": "write rejected: this server is a read-only replica",
+    "DEGRADED": "write rejected: a durable-write failure put the engine "
+    "in read-only degraded mode (reads still flow)",
+    "DURABILITY_ERROR": "the durable-write path failed; the statement was "
+    "not acknowledged and the engine degraded",
     "CONSTRAINT_VIOLATION": "primary-key / not-null / graph integrity violation",
     "TYPE_MISMATCH": "value cannot be coerced to the declared column type",
     "PARSE_ERROR": "SQL failed to lex or parse",

@@ -96,6 +96,7 @@ class Server:
         auth_token: Optional[str] = None,
         max_queue: int = 64,
         backlog: int = 32,
+        supervisor=None,
     ):
         self.db = db
         self.host = host
@@ -103,6 +104,12 @@ class Server:
         self.auth_token = auth_token
         self.scheduler = SingleWriterScheduler(max_queue=max_queue)
         self.backlog = backlog
+        #: Optional :class:`~repro.resilience.supervisor.Supervisor`;
+        #: when set, HEALTH responses include its full status and its
+        #: self-heal runs through this server's write scheduler.
+        self.supervisor = supervisor
+        if supervisor is not None:
+            supervisor.scheduler = self.scheduler
         self.sessions: Dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
         self._listener: Optional[socket.socket] = None
@@ -254,6 +261,7 @@ class Server:
             "protocol": protocol.PROTOCOL_VERSION,
             "session": session.name,
             "role": self.db.role,
+            "health": self.db.health.state,
         })
         reader = threading.Thread(
             target=self._reader_loop,
@@ -342,6 +350,10 @@ class Server:
             return self._send_safely(session.sock, lock, {
                 "type": "METRICS", "text": text,
             })
+        if kind == "HEALTH":
+            return self._send_safely(
+                session.sock, lock, self._health_message(request.get("id"))
+            )
         if kind == "PING":
             return self._send_safely(session.sock, lock, {"type": "PONG"})
         if kind == "CLOSE":
@@ -444,6 +456,27 @@ class Server:
             "code": code,
             "message": str(error),
         })
+
+    def _health_message(self, request_id=None) -> Dict[str, Any]:
+        """The HEALTH response: the engine's health state plus, when a
+        supervisor is attached, its liveness/readiness and counters."""
+        health = self.db.health
+        message: Dict[str, Any] = {
+            "type": "HEALTH",
+            "id": request_id,
+            "state": health.state,
+            "reason": health.reason,
+            "last_error": health.last_error,
+            "role": self.db.role,
+            "liveness": health.state != "failed",
+            "readiness": {
+                "reads": health.allows_reads(),
+                "writes": health.allows_writes(),
+            },
+        }
+        if self.supervisor is not None:
+            message["supervisor"] = self.supervisor.status()
+        return message
 
     # -- small requests -------------------------------------------------
 

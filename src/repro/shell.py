@@ -24,6 +24,9 @@ SELECT ...;`` runs like any other statement. Meta-commands start with
                       (needs an attached cluster)
 ``\\promote [NAME]``   fail over to replica NAME (or the most caught-up
                       healthy replica); the old primary is fenced
+``\\health``           engine health state, last durable-write error,
+                      retry/breaker counters, and supervisor status
+                      (works locally and over a remote connection)
 ``.quit``             exit
 ====================  ====================================================
 
@@ -92,7 +95,11 @@ class Shell:
         out: TextIO = sys.stdout,
         cluster=None,
         client=None,
+        supervisor=None,
     ):
+        #: Optional :class:`~repro.resilience.supervisor.Supervisor` —
+        #: enriches ``\health`` with checkpoint/probe/heal counters.
+        self.supervisor = supervisor
         #: Optional :class:`~repro.replication.ReplicationManager` —
         #: enables ``\replica status`` and ``\promote``. When attached,
         #: the shell's database is the cluster's current primary's.
@@ -213,6 +220,8 @@ class Shell:
             self._replica_command(argument)
         elif name == "promote":
             self._promote(argument)
+        elif name == "health":
+            self._health()
         else:
             self.write(f"unknown command {parts[0]} (try .help)")
 
@@ -330,6 +339,72 @@ class Shell:
             f"promoted {new_primary.name} to primary "
             f"(epoch {new_primary.epoch})"
         )
+
+    def _health(self) -> None:
+        """``\\health`` — engine health, local or over the wire."""
+        if self.client is not None:
+            try:
+                info = self.client.health()
+            except DatabaseError as error:
+                self.write(self._format_error(error))
+                return
+            self.write(
+                f"state       {info.get('state', '?')}"
+                + (f"  ({info['reason']})" if info.get("reason") else "")
+            )
+            self.write(f"role        {info.get('role', '?')}")
+            self.write(f"liveness    {info.get('liveness')}")
+            ready = info.get("readiness") or {}
+            self.write(
+                f"readiness   reads={ready.get('reads')} "
+                f"writes={ready.get('writes')}"
+            )
+            if info.get("last_error"):
+                self.write(f"last error  {info['last_error']}")
+            supervisor = info.get("supervisor")
+            if supervisor:
+                self._render_supervisor(supervisor)
+            return
+        health = self.db.health.status()
+        self.write(
+            f"state       {health['state']}"
+            + (f"  ({health['reason']})" if health.get("reason") else "")
+        )
+        self.write(
+            f"writes      {'accepted' if self.db.health.allows_writes() else 'rejected (DEGRADED)'}"
+        )
+        if health.get("last_error"):
+            self.write(f"last error  {health['last_error']}")
+        if self.supervisor is not None:
+            self._render_supervisor(self.supervisor.status())
+
+    def _render_supervisor(self, status: dict) -> None:
+        """Render the counters a supervisor's ``status()`` exposes."""
+        self.write(
+            f"supervisor  epoch {status.get('epoch')} "
+            f"seq {status.get('sequence')} sync={status.get('sync')}"
+        )
+        checkpoints = status.get("checkpoints") or {}
+        probes = status.get("probes") or {}
+        heal = status.get("heal") or {}
+        breaker = heal.get("breaker") or {}
+        self.write(
+            f"checkpoints taken={checkpoints.get('taken', 0)} "
+            f"failed={checkpoints.get('failed', 0)}"
+        )
+        self.write(
+            f"probes      run={probes.get('run', 0)} "
+            f"failed={probes.get('failed', 0)} "
+            f"consecutive_ok={probes.get('consecutive_ok', 0)}"
+        )
+        self.write(
+            f"self-heal   attempted={heal.get('attempted', 0)} "
+            f"succeeded={heal.get('succeeded', 0)} "
+            f"breaker={breaker.get('state', '?')}"
+        )
+        self.write(f"fsync       retries={status.get('fsync_retries', 0)}")
+        if status.get("last_durable_error"):
+            self.write(f"durable err {status['last_durable_error']}")
 
     def _list_objects(self) -> None:
         catalog = self.db.catalog
