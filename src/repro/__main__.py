@@ -7,7 +7,12 @@
   ``--data-dir DIR`` instead runs under a self-healing supervisor that
   owns recovery, checkpoints, and health probes in that directory);
 * ``--connect HOST:PORT``: the same shell, but every statement goes to
-  a remote server (``--auth TOKEN`` to authenticate).
+  a remote server (``--auth TOKEN`` to authenticate);
+* ``--cluster NAME --peers n1=H:CP:RP,... --data-dir DIR``: run one
+  node of an N-node high-availability cluster (TCP replication,
+  heartbeat failover, ``NOT_PRIMARY`` redirects). ``--initial-primary``
+  names the first boot's primary; restarted nodes rediscover the
+  current leader regardless.
 """
 
 from __future__ import annotations
@@ -61,10 +66,37 @@ def main(argv: Optional[list] = None) -> None:
         "--probe-interval", metavar="SECONDS", type=float, default=5.0,
         help="with --data-dir: seconds between storage health probes",
     )
+    parser.add_argument(
+        "--cluster", metavar="NAME", default=None,
+        help="run as cluster node NAME (requires --peers and --data-dir)",
+    )
+    parser.add_argument(
+        "--peers", metavar="N1=HOST:CPORT:RPORT,...", default=None,
+        help="with --cluster: every cluster member's client and "
+             "replication addresses, including this node's",
+    )
+    parser.add_argument(
+        "--initial-primary", metavar="NAME", default=None,
+        help="with --cluster: the node that promotes itself on a fresh "
+             "cluster's first boot (ignored once a leader exists)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", metavar="SECONDS", type=float, default=2.0,
+        help="with --cluster: primary silence before an election starts",
+    )
+    parser.add_argument(
+        "--ack-replicas", metavar="N", type=int, default=1,
+        help="with --cluster: replicas that must apply a write before "
+             "the client is acknowledged",
+    )
     args = parser.parse_args(argv)
-    if args.serve and args.connect:
-        parser.error("--serve and --connect are mutually exclusive")
-    if args.serve:
+    if sum(map(bool, (args.serve, args.connect, args.cluster))) > 1:
+        parser.error("--serve, --connect and --cluster are mutually exclusive")
+    if args.cluster:
+        if not args.peers or not args.data_dir:
+            parser.error("--cluster requires --peers and --data-dir")
+        _cluster(args)
+    elif args.serve:
         _serve(args)
     elif args.connect:
         _connect(args)
@@ -115,6 +147,44 @@ def _serve(args) -> None:
         server.shutdown(drain=True)
         if supervisor is not None:
             supervisor.stop()
+
+
+def _cluster(args) -> None:
+    from .errors import DatabaseError
+    from .replication.node import ClusterNode, parse_peers
+
+    try:
+        peers = parse_peers(args.peers)
+    except DatabaseError as error:
+        raise SystemExit(f"error: {error}")
+    if args.cluster not in peers:
+        raise SystemExit(
+            f"error: --cluster {args.cluster!r} is not in --peers "
+            f"({', '.join(sorted(peers))})"
+        )
+    try:
+        node = ClusterNode(
+            args.cluster,
+            peers,
+            data_dir=args.data_dir,
+            initial_primary=args.initial_primary,
+            heartbeat_timeout=args.heartbeat_timeout,
+            ack_replicas=args.ack_replicas,
+            auth_token=args.auth,
+        ).start()
+    except DatabaseError as error:
+        raise SystemExit(f"error: {error}")
+    host, port = node.client_address
+    print(
+        f"cluster node {node.name} ({node.role}) listening on "
+        f"{host}:{port}; replication on {node.spec.repl_port}"
+    )
+    print(f"data dir: {node.data_dir}")
+    try:
+        node.server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining...")
+        node.stop(drain=True)
 
 
 def _connect(args) -> None:

@@ -113,6 +113,25 @@ class FencedError(ReplicationError):
     """
 
 
+class NotPrimaryError(ReplicationError):
+    """Raised when a write reaches a cluster node that is not the
+    current primary (a replica, or a deposed primary that has been
+    fenced by a newer epoch).
+
+    Carries ``leader_hint`` — ``{"node", "host", "port"}`` of the node
+    this one believes is the primary, or ``None`` mid-election — so a
+    cluster-aware client can follow the redirect instead of guessing.
+    The write was **rejected before execution**, which makes this the
+    one write error that is always safe to retry (against the hinted
+    leader). Wire code: ``NOT_PRIMARY``, with the hint mirrored into
+    the ERROR frame's ``leader_hint`` field.
+    """
+
+    def __init__(self, message: str, leader_hint=None):
+        self.leader_hint = leader_hint
+        super().__init__(message)
+
+
 class DivergenceError(ReplicationError):
     """Raised when a quarantined replica is asked to serve a read.
 
@@ -183,11 +202,14 @@ class RemoteError(DatabaseError):
 
     Carries the wire protocol's stable ``code`` (``"READ_ONLY"``,
     ``"BUDGET_EXCEEDED"``, ...) so callers dispatch on the code rather
-    than on message text.
+    than on message text. For ``NOT_PRIMARY`` errors, ``leader_hint``
+    carries the ERROR frame's redirect target (``{"node", "host",
+    "port"}`` or ``None``) so a cluster-aware caller can follow it.
     """
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str, leader_hint=None):
         self.code = code
+        self.leader_hint = leader_hint
         super().__init__(f"[{code}] {message}")
 
 

@@ -17,6 +17,7 @@ from .fault_injection import (
     register_crash_site,
 )
 from .manager import ReplicationManager
+from .node import ClusterNode, PeerSpec, parse_peers, probe_state
 from .primary import Primary, ReplicaLink
 from .replica import Replica
 from .transport import Channel, Message
@@ -24,13 +25,17 @@ from .transport import Channel, Message
 __all__ = [
     "CRASH_SITES",
     "Channel",
+    "ClusterNode",
     "FaultInjector",
     "Message",
+    "PeerSpec",
     "Primary",
     "Replica",
     "ReplicaLink",
     "ReplicationManager",
     "SimulatedCrash",
+    "parse_peers",
+    "probe_state",
     "combined_digest",
     "database_digest",
     "register_crash_site",

@@ -1,0 +1,823 @@
+"""One fault-tolerant cluster process: server + replication + failover.
+
+A :class:`ClusterNode` is the runtime that makes failover real between
+networked processes. It glues together the pieces the earlier layers
+built — the client-facing :class:`~repro.server.server.Server`, the
+:class:`~repro.replication.primary.Primary` /
+:class:`~repro.replication.replica.Replica` roles, and the TCP
+replication transport (:mod:`repro.replication.tcp`) — into a single
+process that:
+
+* **pumps** the replication protocol on a wall-clock loop (heartbeats,
+  ships, acks, digests, bootstraps all flow over one socket per peer);
+* **detects primary failure** by heartbeat silence and runs a quorum
+  election: the node polls its peers' ``CLUSTER_STATE`` over the client
+  port; the most-caught-up reachable replica (highest
+  ``(applied_sequence, name)``) promotes itself into a new epoch, and
+  only with answers from a majority of the configured cluster — two
+  replicas that cannot see each other can never both promote;
+* **fences deposed primaries**: a primary that discovers a peer at a
+  higher epoch fences itself, discards its (by definition never
+  acknowledged) unreplicated tail, and rejoins as a replica of the new
+  primary — its server answers writes with ``NOT_PRIMARY`` plus a
+  ``leader_hint`` the whole time;
+* **withholds write acknowledgements** until the semi-sync barrier is
+  met: a write returns to the client only once ``ack_replicas``
+  replicas have *applied* it, so an acknowledged write survives losing
+  the primary to ``kill -9``.
+
+Durable role marker: when a node becomes primary it records the epoch
+in ``<name>.primary-epoch``. A restarted ex-primary finds the marker,
+and if the cluster has moved to a newer primary it wipes its local
+state (which may contain an unreplicated — hence unacknowledged — tail)
+and re-bootstraps, exactly like the in-process manager's deposed-rejoin
+path. Divergence that slips past this (or corruption) is still caught
+by the shipped digests, which quarantine and re-bootstrap the replica.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError, ReplicationError
+from ..server import protocol
+from ..server.server import Server
+from .primary import Primary
+from .replica import Replica
+from .tcp import ReplicationListener, TcpLink, connect_replica
+
+
+class PeerSpec:
+    """One cluster member's addresses: client port + replication port."""
+
+    __slots__ = ("name", "host", "client_port", "repl_port")
+
+    def __init__(self, name: str, host: str, client_port: int, repl_port: int):
+        self.name = name
+        self.host = host
+        self.client_port = client_port
+        self.repl_port = repl_port
+
+    def hint(self) -> Dict[str, Any]:
+        return {"node": self.name, "host": self.host, "port": self.client_port}
+
+    def __repr__(self) -> str:
+        return (
+            f"PeerSpec({self.name}, {self.host}:"
+            f"{self.client_port}/{self.repl_port})"
+        )
+
+
+def parse_peers(spec: str) -> Dict[str, PeerSpec]:
+    """Parse ``n1=host:cport:rport,n2=...`` into peer specs (the
+    ``--peers`` command-line syntax)."""
+    peers: Dict[str, PeerSpec] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            name, address = part.split("=", 1)
+            host, client_port, repl_port = address.rsplit(":", 2)
+            peers[name.strip()] = PeerSpec(
+                name.strip(), host or "127.0.0.1",
+                int(client_port), int(repl_port),
+            )
+        except ValueError:
+            raise ReplicationError(
+                f"bad peer spec {part!r}: expected NAME=HOST:CPORT:RPORT"
+            )
+    return peers
+
+
+def probe_state(
+    host: str,
+    port: int,
+    auth: Optional[str] = None,
+    timeout: float = 0.5,
+) -> Optional[Dict[str, Any]]:
+    """One-shot CLUSTER_STATE poll of a peer's client port.
+
+    Returns the state dict, or None when the peer is unreachable (dead,
+    partitioned, or not answering within the timeout) — elections treat
+    the two identically, which is the only honest option over a network.
+    """
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError:
+        return None
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(timeout)
+        hello: Dict[str, Any] = {
+            "type": "HELLO", "protocol": protocol.PROTOCOL_VERSION,
+        }
+        if auth is not None:
+            hello["auth"] = auth
+        protocol.send_frame(sock, hello)
+        reply = protocol.read_frame(sock)
+        if reply is None or reply.get("type") != "HELLO_OK":
+            return None
+        protocol.send_frame(sock, {"type": "CLUSTER_STATE", "id": 1})
+        state = protocol.read_frame(sock)
+        if state is None or state.get("type") != "CLUSTER_STATE":
+            return None
+        return state
+    except (OSError, ProtocolError):
+        return None
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+class ClusterNode:
+    """One process of an N-node cluster: server, role, and failover.
+
+    ::
+
+        peers = parse_peers("n1=127.0.0.1:7070:7170,"
+                            "n2=127.0.0.1:7071:7171,"
+                            "n3=127.0.0.1:7072:7172")
+        node = ClusterNode("n1", peers, data_dir="/var/lib/repro/n1",
+                           initial_primary="n1").start()
+
+    Every node starts by *recovering as a replica* from its data
+    directory (the standalone recovery path), then the designated
+    ``initial_primary`` promotes itself if no live primary exists.
+    Restarted nodes always come back as replicas and find the current
+    primary by polling peers — whoever the configuration once named is
+    irrelevant after the first failover.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        peers: Dict[str, PeerSpec],
+        data_dir: str,
+        initial_primary: Optional[str] = None,
+        heartbeat_timeout: float = 2.0,
+        pump_interval: float = 0.05,
+        ack_replicas: int = 1,
+        ack_timeout: float = 5.0,
+        auth_token: Optional[str] = None,
+        sync: str = "commit",
+        probe_timeout: float = 0.5,
+        max_queue: int = 64,
+    ):
+        if name not in peers:
+            raise ReplicationError(f"node {name!r} is not in the peer map")
+        self.name = name
+        self.peers = peers
+        self.spec = peers[name]
+        self.data_dir = str(data_dir)
+        os.makedirs(self.data_dir, exist_ok=True)
+        self.initial_primary = initial_primary
+        self.heartbeat_timeout = heartbeat_timeout
+        self.pump_interval = pump_interval
+        self.ack_replicas = ack_replicas
+        self.ack_timeout = ack_timeout
+        self.auth_token = auth_token
+        self.sync = sync
+        self.probe_timeout = probe_timeout
+        #: Role state — guarded by ``_lock``.
+        self.role = "replica"
+        self.replica: Optional[Replica] = None
+        self.primary: Optional[Primary] = None
+        self._primary_name: Optional[str] = None  # believed current leader
+        self._lock = threading.RLock()
+        self._ack_cond = threading.Condition()
+        self._stop = threading.Event()
+        self._partitioned = False
+        self._tick = 0
+        self._listener: Optional[ReplicationListener] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._pump_thread: Optional[threading.Thread] = None
+        self._links: Dict[str, TcpLink] = {}  # primary side, by replica name
+        self._replica_link: Optional[TcpLink] = None  # replica side
+        self._last_primary_contact = time.monotonic()
+        self._last_primary_tick_seen = -1
+        self._next_election = 0.0
+        self._next_dial = 0.0
+        self._next_peer_poll = 0.0
+        #: Latest CLUSTER_STATE seen per peer (for ``\\cluster status``).
+        self.peer_states: Dict[str, Dict[str, Any]] = {}
+        #: ``(wall_time, old_epoch, new_epoch, kind)`` per role change.
+        self.transitions: List[tuple] = []
+        # recover local state (standalone recovery path)
+        self.replica = Replica(self.name, self.data_dir, sync=self.sync)
+        self.server = Server(
+            self.replica.db,
+            host=self.spec.host,
+            port=self.spec.client_port,
+            auth_token=auth_token,
+            max_queue=max_queue,
+            cluster=self,
+        )
+        self._marker_path = os.path.join(
+            self.data_dir, f"{self.name}.primary-epoch"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        with self._lock:
+            if self.primary is not None:
+                return self.primary.epoch
+            if self.replica is not None:
+                return max(self.replica.epoch, self.replica.applied_epoch)
+            return 0
+
+    @property
+    def db(self):
+        with self._lock:
+            if self.primary is not None:
+                return self.primary.db
+            return self.replica.db if self.replica is not None else None
+
+    def start(self) -> "ClusterNode":
+        self.server.start()
+        winner = self._find_live_primary(self._poll_peers())
+        if winner is not None:
+            # the cluster already has a leader (we are a restarted or
+            # late-joining node): follow it, whatever the config says
+            self._adopt_primary(winner["node"])
+        elif self.initial_primary == self.name and self._read_marker() is None:
+            # first boot of the designated primary. A *restarted*
+            # ex-primary (marker present) must never shortcut back to
+            # the throne — the cluster may be mid-election at a higher
+            # epoch; it joins the election like any other replica.
+            with self._lock:
+                self._promote_locked(max(1, self.epoch + 1))
+        elif self.initial_primary is not None:
+            self._primary_name = self.initial_primary
+        self._pump_thread = threading.Thread(
+            target=self._pump_loop, name=f"repro-node-{self.name}", daemon=True
+        )
+        self._pump_thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
+        """Graceful stop: drain the server, close replication, fsync."""
+        self._shutdown(drain=drain, timeout=timeout, final_sync=True)
+
+    def kill(self) -> None:
+        """Simulate ``kill -9``: no drain, no goodbye, no final sync —
+        in-flight clients see their sockets die mid-request."""
+        self._shutdown(drain=False, timeout=2.0, final_sync=False)
+
+    def _shutdown(self, drain: bool, timeout: float, final_sync: bool) -> None:
+        self._stop.set()
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=timeout)
+            self._pump_thread = None
+        self._close_replication()
+        with self._ack_cond:
+            self._ack_cond.notify_all()
+        self.server.shutdown(drain=drain, timeout=timeout)
+        with self._lock:
+            if self.replica is not None:
+                try:
+                    self.replica._writer.close()
+                except OSError:
+                    pass
+            if final_sync and self.primary is not None:
+                try:
+                    self.primary.log.sync_now()
+                except OSError:
+                    pass
+
+    def _close_replication(self) -> None:
+        with self._lock:
+            if self._listener is not None:
+                self._listener.close()
+                self._listener = None
+            for link in self._links.values():
+                link.close()
+            self._links.clear()
+            if self._replica_link is not None:
+                self._replica_link.close()
+                self._replica_link = None
+
+    # ------------------------------------------------------------------
+    # partition injection (for the cluster chaos matrix)
+    # ------------------------------------------------------------------
+
+    def set_partitioned(self, flag: bool) -> None:
+        """Drop this node's replication links and peer visibility (both
+        directions), leaving its client port up — the shape of a real
+        network partition, where clients on the node's side still reach
+        it but the cluster does not."""
+        self._partitioned = flag
+        if flag:
+            with self._lock:
+                for link in self._links.values():
+                    link.close()
+                self._links.clear()
+                if self._replica_link is not None:
+                    self._replica_link.close()
+                    self._replica_link = None
+                if self.replica is not None:
+                    self.replica.inbound = None
+                    self.replica.outbound = None
+
+    # ------------------------------------------------------------------
+    # the cluster hook the Server calls
+    # ------------------------------------------------------------------
+
+    def is_primary(self) -> bool:
+        with self._lock:
+            return (
+                self.role == "primary"
+                and self.primary is not None
+                and not self.primary.fenced
+            )
+
+    def leader_hint(self) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            leader = self.name if self.is_primary() else self._primary_name
+        spec = self.peers.get(leader) if leader else None
+        return spec.hint() if spec is not None else None
+
+    def required_acks(self) -> int:
+        return min(self.ack_replicas, max(0, len(self.peers) - 1))
+
+    def after_write(self) -> None:
+        """The semi-sync barrier: block until ``ack_replicas`` replicas
+        have applied up to the primary's current log head.
+
+        Every failure raised here is a :class:`ReplicationError`, never
+        ``NOT_PRIMARY``: the statement already executed locally, so its
+        outcome across a concurrent failover is genuinely unknown (the
+        record may or may not have reached the next primary) and the
+        client must not auto-retry. ``NOT_PRIMARY`` stays reserved for
+        the pre-execution gate, where retrying is provably safe."""
+        needed = self.required_acks()
+        if needed == 0:
+            return
+        with self._lock:
+            primary = self.primary if self.role == "primary" else None
+            if primary is None or primary.fenced:
+                raise ReplicationError(
+                    f"{self.name} was deposed while the write was in "
+                    "flight; its outcome is unknown (it was never "
+                    "acknowledged)"
+                )
+            target = primary.log.last_sequence
+        deadline = time.monotonic() + self.ack_timeout
+        with self._ack_cond:
+            while True:
+                acked = sum(
+                    1
+                    for link in list(primary.links.values())
+                    if link.acked_sequence >= target
+                )
+                if acked >= needed:
+                    return
+                if self._stop.is_set():
+                    raise ReplicationError(
+                        f"{self.name} is shutting down before the write "
+                        "replicated; its outcome is unknown"
+                    )
+                if primary.fenced or self.primary is not primary:
+                    raise ReplicationError(
+                        f"{self.name} was deposed while the write was in "
+                        "flight; its outcome is unknown (it was never "
+                        "acknowledged)"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ReplicationError(
+                        f"write (sequence {target}) not acknowledged by "
+                        f"{needed} replica(s) within {self.ack_timeout}s; "
+                        "its outcome is unknown (it was never acknowledged)"
+                    )
+                self._ack_cond.wait(min(remaining, 0.1))
+
+    def replication_status(self) -> Dict[str, Any]:
+        """The HEALTH message's replication section: role, epoch, and
+        apply lag, so replica staleness is operator-visible."""
+        with self._lock:
+            if self.primary is not None:
+                head = self.primary.log.last_sequence
+                return {
+                    "role": "primary",
+                    "node": self.name,
+                    "epoch": self.primary.epoch,
+                    "sequence": head,
+                    "lag": 0,
+                    "fenced": self.primary.fenced,
+                    "leader": self.name,
+                    "replicas": {
+                        name: max(0, head - link.acked_sequence)
+                        for name, link in self.primary.links.items()
+                    },
+                }
+            replica = self.replica
+            return {
+                "role": "replica",
+                "node": self.name,
+                "epoch": self.epoch,
+                "sequence": replica.applied_sequence if replica else 0,
+                "lag": replica.lag if replica else None,
+                "quarantined": bool(replica and replica.quarantined),
+                "leader": self._primary_name,
+                "connected": bool(
+                    self._replica_link is not None
+                    and not self._replica_link.closed
+                ),
+            }
+
+    def state_message(self) -> Dict[str, Any]:
+        """The CLUSTER_STATE payload: this node plus its last known
+        view of its peers (which may be stale — every row carries the
+        poll age so operators can tell)."""
+        status = self.replication_status()
+        db = self.db
+        message: Dict[str, Any] = {
+            "node": self.name,
+            "role": status["role"],
+            "epoch": status["epoch"],
+            "sequence": status["sequence"],
+            "lag": status.get("lag"),
+            "fenced": status.get("fenced", False),
+            "quarantined": status.get("quarantined", False),
+            "health": db.health.state if db is not None else "unknown",
+            "leader": self.leader_hint(),
+            "peers": [
+                dict(state, node=name)
+                for name, state in sorted(self.peer_states.items())
+            ],
+        }
+        return message
+
+    # ------------------------------------------------------------------
+    # the pump loop: replication, failure detection, elections
+    # ------------------------------------------------------------------
+
+    def _pump_loop(self) -> None:
+        while not self._stop.wait(self.pump_interval):
+            try:
+                self._tick += 1
+                with self._lock:
+                    primary = self.primary
+                    replica = self.replica if self.role == "replica" else None
+                if primary is not None and self.role == "primary":
+                    primary.pump(self._tick)
+                    with self._ack_cond:
+                        self._ack_cond.notify_all()
+                    self._primary_duties()
+                elif replica is not None:
+                    replica.pump(self._tick)
+                    if replica.last_primary_tick != self._last_primary_tick_seen:
+                        self._last_primary_tick_seen = replica.last_primary_tick
+                        self._last_primary_contact = time.monotonic()
+                    self._replica_duties(replica)
+            except Exception:
+                # the pump must never die silently mid-cluster; one bad
+                # iteration (a racing teardown, a closing socket) is
+                # dropped and the next tick starts clean
+                if self._stop.is_set():
+                    return
+
+    # -- primary-side duties -------------------------------------------
+
+    def _primary_duties(self) -> None:
+        now = time.monotonic()
+        if now < self._next_peer_poll or self._partitioned:
+            return
+        self._next_peer_poll = now + self.heartbeat_timeout
+        states = self._poll_peers()
+        winner = self._find_live_primary(states)
+        if winner is not None and winner["epoch"] > self.epoch:
+            # a newer epoch exists: we were deposed while partitioned
+            # or frozen — fence and rejoin as a replica
+            self._demote(winner)
+
+    # -- replica-side duties -------------------------------------------
+
+    def _replica_duties(self, replica: Replica) -> None:
+        now = time.monotonic()
+        if self._partitioned:
+            return
+        link = self._replica_link
+        if (link is None or link.closed) and self._primary_name is not None:
+            if now >= self._next_dial:
+                self._next_dial = now + max(0.2, self.pump_interval * 4)
+                self._dial_primary(self._primary_name)
+        silent = now - self._last_primary_contact
+        if silent <= self.heartbeat_timeout or now < self._next_election:
+            return
+        self._next_election = now + max(0.25, self.heartbeat_timeout / 2)
+        self._run_election(replica)
+
+    def _run_election(self, replica: Replica) -> None:
+        states = self._poll_peers()
+        winner = self._find_live_primary(states)
+        if winner is not None:
+            self._adopt_primary(winner["node"])
+            return
+        if replica.quarantined:
+            return  # suspect state can never promote; wait for a leader
+        # quorum: this node plus its reachable peers must be a majority
+        # of the configured cluster, or two halves of a partition could
+        # each elect a primary
+        if len(states) + 1 < len(self.peers) // 2 + 1:
+            return
+        mine = (replica.applied_sequence, self.name)
+        for state in states.values():
+            if state.get("quarantined"):
+                continue
+            theirs = (state.get("sequence") or 0, state["node"])
+            if theirs > mine:
+                return  # a better candidate exists; give it time
+        top_epoch = max(
+            [self.epoch] + [int(s.get("epoch") or 0) for s in states.values()]
+        )
+        with self._lock:
+            # re-check under the lock: a heartbeat may have landed (or a
+            # concurrent demote/promote changed the world) mid-poll
+            if self.role != "replica" or self.replica is not replica:
+                return
+            if (
+                time.monotonic() - self._last_primary_contact
+                <= self.heartbeat_timeout
+            ):
+                return
+            self._promote_locked(top_epoch + 1)
+
+    # -- promotion ------------------------------------------------------
+
+    def _promote_locked(self, new_epoch: int) -> None:
+        """Become the primary at ``new_epoch`` (``_lock`` held)."""
+        replica = self.replica
+        if replica is None:
+            raise ReplicationError(f"{self.name} has no replica state")
+        if self._replica_link is not None:
+            self._replica_link.close()
+            self._replica_link = None
+        primary = replica.become_primary(new_epoch)
+        self.primary = primary
+        self.replica = None
+        self.role = "primary"
+        self._primary_name = self.name
+        self.server.db = primary.db
+        self._write_marker(new_epoch)
+        self._listener = ReplicationListener(
+            self.spec.host, self.spec.repl_port
+        )
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            args=(self._listener,),
+            name=f"repro-node-accept-{self.name}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        self.transitions.append(
+            (time.time(), "promote", new_epoch, self.name)
+        )
+
+    def _accept_loop(self, listener: ReplicationListener) -> None:
+        while not self._stop.is_set():
+            try:
+                link, hello = listener.accept()
+            except ReplicationError:
+                continue
+            except OSError:
+                return
+            name = hello.get("name")
+            if (
+                self._partitioned
+                or name not in self.peers
+                or name == self.name
+            ):
+                link.close()
+                continue
+            with self._lock:
+                primary = self.primary
+                if primary is None or self.role != "primary":
+                    link.close()
+                    continue
+                old = self._links.pop(name, None)
+                if old is not None:
+                    old.close()
+                self._links[name] = link
+                primary.attach_replica(
+                    name,
+                    outbound=link.outbound,
+                    inbound=link.inbound,
+                    acked_sequence=int(hello.get("acked_sequence", 0) or 0),
+                )
+
+    # -- adoption / demotion -------------------------------------------
+
+    def _adopt_primary(self, leader: str) -> None:
+        """Follow ``leader`` as this node's primary, wiping local state
+        first when our durable marker says we were once a primary (our
+        tail may contain never-replicated, never-acknowledged commits)."""
+        if leader == self.name:
+            return
+        marker = self._read_marker()
+        if marker is not None:
+            self._wipe_local_state()
+        with self._lock:
+            self._primary_name = leader
+            self._last_primary_contact = time.monotonic()
+        self._dial_primary(leader)
+
+    def _demote(self, winner: Dict[str, Any]) -> None:
+        """Fence this deposed primary and rejoin as a replica of the
+        newer-epoch winner. The unreplicated tail is discarded — it was
+        never acknowledged (the semi-sync barrier saw to that)."""
+        leader = winner["node"]
+        with self._lock:
+            primary = self.primary
+            if primary is None or self.role != "primary":
+                return
+            primary.fenced = True
+            primary.links.clear()
+            if self._listener is not None:
+                self._listener.close()
+                self._listener = None
+            for link in self._links.values():
+                link.close()
+            self._links.clear()
+            try:
+                primary.log.detach()
+            except OSError:
+                pass
+            self.transitions.append(
+                (time.time(), "demote", winner.get("epoch"), leader)
+            )
+        with self._ack_cond:
+            self._ack_cond.notify_all()  # fail in-flight write barriers
+        self._wipe_local_state()
+        with self._lock:
+            self._primary_name = leader
+            self._last_primary_contact = time.monotonic()
+        self._dial_primary(leader)
+
+    def _wipe_local_state(self) -> None:
+        """Discard durable + in-memory state and restart as an empty
+        replica (it will bootstrap from the current primary)."""
+        with self._lock:
+            if self.replica is not None:
+                try:
+                    self.replica._writer.close()
+                except OSError:
+                    pass
+            for stale in (
+                f"{self.name}.snapshot.json",
+                f"{self.name}.applied.log",
+            ):
+                path = os.path.join(self.data_dir, stale)
+                if os.path.exists(path):
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+            self._clear_marker()
+            self.primary = None
+            self.role = "replica"
+            self.replica = Replica(self.name, self.data_dir, sync=self.sync)
+            self.server.db = self.replica.db
+            self._last_primary_tick_seen = -1
+
+    def _dial_primary(self, leader: str) -> None:
+        spec = self.peers.get(leader)
+        with self._lock:
+            replica = self.replica
+        if spec is None or replica is None or self._partitioned:
+            return
+        try:
+            link = connect_replica(
+                spec.host,
+                spec.repl_port,
+                name=self.name,
+                acked_sequence=replica.applied_sequence,
+                timeout=self.probe_timeout,
+            )
+        except ReplicationError:
+            return  # backoff via _next_dial; election covers a dead leader
+        with self._lock:
+            if self.replica is not replica or self.role != "replica":
+                link.close()
+                return
+            if self._replica_link is not None:
+                self._replica_link.close()
+            self._replica_link = link
+            replica.connect(inbound=link.inbound, outbound=link.outbound)
+
+    # ------------------------------------------------------------------
+    # peer polling
+    # ------------------------------------------------------------------
+
+    def _poll_peers(self) -> Dict[str, Dict[str, Any]]:
+        """CLUSTER_STATE of every reachable peer (never self)."""
+        if self._partitioned:
+            return {}
+        states: Dict[str, Dict[str, Any]] = {}
+        for name, spec in self.peers.items():
+            if name == self.name:
+                continue
+            state = probe_state(
+                spec.host, spec.client_port, self.auth_token,
+                timeout=self.probe_timeout,
+            )
+            if state is not None:
+                state["node"] = state.get("node") or name
+                state["polled_at"] = time.time()
+                states[name] = state
+                self.peer_states[name] = state
+        return states
+
+    @staticmethod
+    def _find_live_primary(
+        states: Dict[str, Dict[str, Any]],
+    ) -> Optional[Dict[str, Any]]:
+        primaries = [
+            state
+            for state in states.values()
+            if state.get("role") == "primary" and not state.get("fenced")
+        ]
+        if not primaries:
+            return None
+        return max(primaries, key=lambda s: int(s.get("epoch") or 0))
+
+    # ------------------------------------------------------------------
+    # durable role marker
+    # ------------------------------------------------------------------
+
+    def _write_marker(self, epoch: int) -> None:
+        try:
+            with open(self._marker_path, "w") as handle:
+                handle.write(str(epoch))
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:
+            pass  # best effort; digests remain the safety net
+
+    def _read_marker(self) -> Optional[int]:
+        try:
+            with open(self._marker_path) as handle:
+                return int(handle.read().strip() or 0)
+        except (OSError, ValueError):
+            return None
+
+    def _clear_marker(self) -> None:
+        try:
+            os.unlink(self._marker_path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # test / operator helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def client_address(self) -> Tuple[str, int]:
+        return self.server.address
+
+    def wait_for_role(self, role: str, timeout: float = 10.0) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.role == role:
+                return True
+            time.sleep(0.02)
+        return self.role == role
+
+    def wait_caught_up(self, timeout: float = 10.0) -> bool:
+        """Block until this replica's applied position reaches the
+        primary's advertised head (always True for a primary)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self.role == "primary":
+                    return True
+                replica = self.replica
+                link = self._replica_link
+            if (
+                replica is not None
+                and link is not None
+                and not link.closed
+                and not replica.quarantined
+                and replica.lag == 0
+                and replica.last_primary_tick > 0
+            ):
+                return True
+            time.sleep(0.02)
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterNode({self.name}, {self.role}, e{self.epoch}, "
+            f"{self.spec.host}:{self.spec.client_port})"
+        )

@@ -1,0 +1,588 @@
+"""The cluster chaos matrix: whole-cluster faults × seeds, digest-verified.
+
+The storage matrix (:mod:`repro.resilience.matrix`) proves one node's
+acknowledged-commit guarantee across every storage crash site. This
+harness proves the *cluster-wide* version of the same contract: *no
+acknowledged write is ever lost across any sequence of failovers.* For
+every fault scenario and every seed, one **cell** runs:
+
+1. start a real 3-node :class:`~repro.replication.node.ClusterNode`
+   cluster (TCP replication, TCP client ports, fast failover timings)
+   in a fresh directory; create the relational + graph schema through a
+   cluster-aware :class:`~repro.client.Client` (seed list, leader
+   chasing);
+2. run a seeded workload of unique-key writes, and at a seeded step
+   inject the scenario's fault mid-workload — ``kill -9`` the primary,
+   kill and later restart the primary (rejoin-as-replica path), kill
+   and restart a replica, or partition the primary and later heal it
+   (deposed-primary fencing path). Every statement is driven to
+   **resolution**: retried until it either succeeds (acknowledged) or
+   ends in a primary-key conflict (ambiguous — an earlier attempt with
+   unknown outcome may or may not have applied);
+3. wait for the cluster to converge (a primary exists; every live
+   replica has applied up to its head), then resolve each ambiguous
+   statement by *reading it back* — present means applied, absent means
+   it never happened. This is the storage matrix's "acked prefix ∪
+   in-flight" rule generalized: acknowledged writes MUST be present,
+   ambiguous ones may go either way, and nothing else may exist;
+4. verify with the replication digests that the final primary's state
+   equals the resolved reference exactly — and that **every** live
+   replica's digest matches the primary's (the cluster converged to one
+   history, not three);
+5. prove the survivors still take writes.
+
+A cell fails on a lost acknowledged write, any digest divergence, a
+statement that cannot be resolved before its deadline (availability
+hole), or an unhandled exception. The CLI mirrors the storage matrix::
+
+    PYTHONPATH=src python -m repro.resilience.cluster_matrix --seeds 0,1,2
+    PYTHONPATH=src python -m repro.resilience.cluster_matrix \\
+        --scenario kill_primary --seeds 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import shutil
+import socket
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+from ..client import Client
+from ..errors import ClientConnectionError, RemoteError
+from ..replication.digest import database_digest
+from ..replication.node import ClusterNode, PeerSpec
+from ..resilience.retry import RetryPolicy
+
+#: scenario name -> one-line description (rendered by --help and docs).
+SCENARIOS: Dict[str, str] = {
+    "kill_primary": "kill -9 the primary mid-workload; it stays dead",
+    "restart_primary": "kill -9 the primary, restart it after a delay; "
+    "it must rejoin as a replica of the new primary",
+    "kill_replica": "kill -9 one replica, restart it after a delay; it "
+    "must catch back up",
+    "partition_primary": "partition the primary from its peers, heal "
+    "after a delay; the deposed primary must fence and rejoin",
+}
+
+_DDL = [
+    "CREATE TABLE kv (k INTEGER PRIMARY KEY, v VARCHAR)",
+    "CREATE TABLE nodes (nId INTEGER PRIMARY KEY, label VARCHAR)",
+    "CREATE TABLE edges (eId INTEGER PRIMARY KEY, src INTEGER, "
+    "dst INTEGER, w INTEGER)",
+    "CREATE DIRECTED GRAPH VIEW ClusterGraph "
+    "VERTEXES(ID = nId, label = label) FROM nodes "
+    "EDGES(ID = eId, FROM = src, TO = dst, weight = w) FROM edges",
+]
+
+#: Wall-clock bound for resolving one statement across a failover.
+_STATEMENT_DEADLINE = 30.0
+#: Wall-clock bound for post-workload cluster convergence.
+_CONVERGE_DEADLINE = 30.0
+
+
+def _free_ports(count: int) -> List[int]:
+    """``count`` currently-free ports (bind-and-release; the usual
+    small race is acceptable for a test harness)."""
+    socks = []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(("127.0.0.1", 0))
+            socks.append(sock)
+        return [sock.getsockname()[1] for sock in socks]
+    finally:
+        for sock in socks:
+            sock.close()
+
+
+def _workload(seed: int, steps: int) -> List[Dict[str, str]]:
+    """The seeded write workload as *resolvable* statements: each one
+    carries the probe query that detects (after convergence) whether an
+    ambiguous attempt actually applied. Unique keys per statement make
+    every write idempotent-detectable: a duplicate attempt can only end
+    in a primary-key conflict, never a silent double-apply."""
+    rng = random.Random(seed)
+    statements: List[Dict[str, str]] = []
+    node_ids: List[int] = []
+    for i in range(steps):
+        statements.append({
+            "sql": f"INSERT INTO kv VALUES ({i}, 'v{seed}.{i}')",
+            "probe": f"SELECT k FROM kv WHERE k = {i}",
+        })
+        statements.append({
+            "sql": f"INSERT INTO nodes VALUES ({i}, 'n{i}')",
+            "probe": f"SELECT nId FROM nodes WHERE nId = {i}",
+        })
+        node_ids.append(i)
+        if len(node_ids) >= 2:
+            src = rng.choice(node_ids[:-1])
+            statements.append({
+                "sql": f"INSERT INTO edges VALUES ({i}, {src}, {i}, "
+                f"{rng.randint(1, 9)})",
+                "probe": f"SELECT eId FROM edges WHERE eId = {i}",
+            })
+    return statements
+
+
+def _reference_digest(applied_sql: List[str]) -> str:
+    from ..core.database import Database
+
+    db = Database()
+    for sql in _DDL:
+        db.execute(sql)
+    for sql in applied_sql:
+        db.execute(sql)
+    return database_digest(db)["combined"]
+
+
+class _Cluster:
+    """One cell's 3-node cluster plus its fault levers."""
+
+    NAMES = ("n1", "n2", "n3")
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        ports = _free_ports(6)
+        self.peers = {
+            name: PeerSpec(name, "127.0.0.1", ports[2 * i], ports[2 * i + 1])
+            for i, name in enumerate(self.NAMES)
+        }
+        self.nodes: Dict[str, ClusterNode] = {}
+        for name in self.NAMES:
+            self.nodes[name] = self._build(name).start()
+
+    def _build(self, name: str) -> ClusterNode:
+        return ClusterNode(
+            name,
+            self.peers,
+            data_dir=os.path.join(self.directory, name),
+            initial_primary="n1",
+            heartbeat_timeout=0.4,
+            pump_interval=0.02,
+            ack_replicas=1,
+            ack_timeout=1.0,
+            probe_timeout=0.25,
+        )
+
+    @property
+    def seeds(self) -> List[str]:
+        return [
+            f"{spec.host}:{spec.client_port}"
+            for spec in self.peers.values()
+        ]
+
+    def live(self) -> List[ClusterNode]:
+        return [n for n in self.nodes.values() if n is not None]
+
+    def primary(self) -> Optional[ClusterNode]:
+        for node in self.live():
+            if node.is_primary():
+                return node
+        return None
+
+    def kill(self, name: str) -> None:
+        node = self.nodes.get(name)
+        if node is not None:
+            node.kill()
+            self.nodes[name] = None
+
+    def restart(self, name: str) -> None:
+        self.nodes[name] = self._build(name).start()
+
+    def converged(self) -> bool:
+        primary = self.primary()
+        if primary is None:
+            return False
+        for node in self.live():
+            if node is primary:
+                continue
+            if node.role != "replica":
+                return False  # two primaries: mid-demotion, keep waiting
+            replica = node.replica
+            if replica is None or replica.quarantined:
+                return False
+            if replica.lag != 0 or replica.last_primary_tick <= 0:
+                return False
+        return True
+
+    def wait_converged(self, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.converged():
+                # converged twice in a row, a pump apart — a digest
+                # taken here cannot race a ship still in flight
+                time.sleep(0.1)
+                if self.converged():
+                    return True
+            time.sleep(0.05)
+        return False
+
+    def stop(self) -> None:
+        for name, node in self.nodes.items():
+            if node is not None:
+                node.stop(drain=False, timeout=2.0)
+                self.nodes[name] = None
+
+
+class _FaultPlan:
+    """When and what to break (and heal), for one scenario."""
+
+    def __init__(self, scenario: str, fire_at_step: int):
+        self.scenario = scenario
+        self.fire_at_step = fire_at_step
+        self.fired = False
+        self.heal_at: Optional[float] = None
+        self.healed = False
+        self.victim: Optional[str] = None
+        self.events: List[str] = []
+
+    def maybe_fire(self, step: int, cluster: _Cluster) -> None:
+        if self.fired or step < self.fire_at_step:
+            return
+        self.fired = True
+        now = time.monotonic()
+        if self.scenario in ("kill_primary", "restart_primary"):
+            primary = cluster.primary()
+            self.victim = primary.name if primary else "n1"
+            cluster.kill(self.victim)
+            self.events.append(f"killed primary {self.victim} at step {step}")
+            if self.scenario == "restart_primary":
+                self.heal_at = now + 1.5
+        elif self.scenario == "kill_replica":
+            primary = cluster.primary()
+            primary_name = primary.name if primary else "n1"
+            self.victim = next(
+                name for name in cluster.NAMES if name != primary_name
+            )
+            cluster.kill(self.victim)
+            self.events.append(f"killed replica {self.victim} at step {step}")
+            self.heal_at = now + 1.0
+        elif self.scenario == "partition_primary":
+            primary = cluster.primary()
+            self.victim = primary.name if primary else "n1"
+            node = cluster.nodes.get(self.victim)
+            if node is not None:
+                node.set_partitioned(True)
+            self.events.append(
+                f"partitioned primary {self.victim} at step {step}"
+            )
+            self.heal_at = now + 2.0
+
+    def maybe_heal(self, cluster: _Cluster) -> None:
+        if (
+            self.healed
+            or self.heal_at is None
+            or time.monotonic() < self.heal_at
+        ):
+            return
+        self.healed = True
+        if self.scenario in ("restart_primary", "kill_replica"):
+            cluster.restart(self.victim)
+            self.events.append(f"restarted {self.victim}")
+        elif self.scenario == "partition_primary":
+            node = cluster.nodes.get(self.victim)
+            if node is not None:
+                node.set_partitioned(False)
+            self.events.append(f"healed partition of {self.victim}")
+
+    def finish(self, cluster: _Cluster) -> None:
+        """Force any pending heal so convergence is possible."""
+        if self.heal_at is not None and not self.healed:
+            self.heal_at = 0.0
+            self.maybe_heal(cluster)
+
+
+def _matrix_client(seeds: List[str]) -> Client:
+    return Client(
+        seeds=seeds,
+        timeout=10.0,
+        connect_timeout=1.0,
+        retry_policy=RetryPolicy(
+            base_delay=0.05, max_delay=0.4, multiplier=2.0, jitter=0.25,
+            max_attempts=6,
+        ),
+    )
+
+
+def run_cell(
+    scenario: str,
+    seed: int,
+    data_dir: Optional[str] = None,
+    steps: int = 12,
+) -> Dict[str, Any]:
+    """Run one (scenario, seed) cell; returns its report dict with
+    ``"passed"`` and, on failure, ``"failure"`` explaining why."""
+    if scenario not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; pick from {sorted(SCENARIOS)}"
+        )
+    cell: Dict[str, Any] = {
+        "scenario": scenario,
+        "seed": seed,
+        "steps": steps,
+        "passed": False,
+        "failure": None,
+        "events": [],
+        "acked": 0,
+        "ambiguous": 0,
+        "final_epoch": None,
+    }
+    own_dir = data_dir is None
+    directory = data_dir or tempfile.mkdtemp(prefix="repro-cluster-matrix-")
+    started = time.time()
+    cluster: Optional[_Cluster] = None
+    client: Optional[Client] = None
+    try:
+        cluster = _Cluster(directory)
+        client = _matrix_client(cluster.seeds)
+        _run_cell_inner(cell, cluster, client, scenario, seed, steps)
+    except Exception as error:  # anything uncaught is exactly the bug
+        cell["failure"] = f"unhandled {type(error).__name__}: {error}"
+    finally:
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+        if cluster is not None:
+            cluster.stop()
+        if own_dir:
+            shutil.rmtree(directory, ignore_errors=True)
+        cell["duration_seconds"] = round(time.time() - started, 3)
+    return cell
+
+
+def _run_cell_inner(
+    cell: Dict[str, Any],
+    cluster: _Cluster,
+    client: Client,
+    scenario: str,
+    seed: int,
+    steps: int,
+) -> None:
+    if not cluster.nodes["n1"].wait_for_role("primary", 10.0):
+        cell["failure"] = "initial primary never came up"
+        return
+    for name in ("n2", "n3"):
+        if not cluster.nodes[name].wait_caught_up(10.0):
+            cell["failure"] = f"replica {name} never attached"
+            return
+    client.connect()
+    for sql in _DDL:
+        client.execute(sql)
+    statements = _workload(seed, steps)
+    rng = random.Random(seed * 7919 + 17)
+    # fire somewhere in the middle third: after enough acked writes for
+    # the loss check to have teeth, with enough left to stress recovery
+    plan = _FaultPlan(
+        scenario,
+        rng.randint(len(statements) // 3, 2 * len(statements) // 3),
+    )
+    acked: List[Dict[str, str]] = []
+    ambiguous: List[Dict[str, str]] = []
+    rejected: List[Dict[str, str]] = []
+    for step, statement in enumerate(statements):
+        plan.maybe_fire(step, cluster)
+        outcome = _resolve_statement(client, statement, plan, cluster)
+        if outcome == "acked":
+            acked.append(statement)
+        elif outcome == "ambiguous":
+            ambiguous.append(statement)
+        elif outcome == "rejected":
+            rejected.append(statement)
+        else:
+            cell["failure"] = (
+                f"statement {step} ({statement['sql']!r}) unresolved "
+                f"within {_STATEMENT_DEADLINE}s: {outcome}"
+            )
+            cell["events"] = plan.events
+            return
+    plan.finish(cluster)
+    cell["events"] = plan.events
+    cell["acked"] = len(acked)
+    cell["ambiguous"] = len(ambiguous)
+    if not plan.fired:
+        cell["failure"] = "fault never fired (harness bug)"
+        return
+    # --- convergence --------------------------------------------------
+    if not cluster.wait_converged(_CONVERGE_DEADLINE):
+        cell["failure"] = (
+            f"cluster did not converge within {_CONVERGE_DEADLINE}s "
+            f"(roles: { {n.name: n.role for n in cluster.live()} })"
+        )
+        return
+    primary = cluster.primary()
+    cell["final_epoch"] = primary.epoch
+    # --- resolve the ambiguous writes by reading them back ------------
+    applied_sql: List[str] = []
+    ambiguous_applied = 0
+    ambiguous_set = {id(s) for s in ambiguous}
+    for statement in statements:
+        if id(statement) in ambiguous_set:
+            present = bool(client.execute(statement["probe"]).rows)
+            if present:
+                applied_sql.append(statement["sql"])
+                ambiguous_applied += 1
+        else:
+            applied_sql.append(statement["sql"])
+    cell["ambiguous_applied"] = ambiguous_applied
+    # --- the digest verdict -------------------------------------------
+    reference = _reference_digest(applied_sql)
+    primary_digest = database_digest(primary.db)["combined"]
+    if primary_digest != reference:
+        cell["failure"] = (
+            f"primary digest {primary_digest} != reference {reference} — "
+            "an acknowledged write was lost or a phantom write appeared"
+        )
+        return
+    for node in cluster.live():
+        if node is primary:
+            continue
+        replica_digest = database_digest(node.db)["combined"]
+        if replica_digest != primary_digest:
+            cell["failure"] = (
+                f"replica {node.name} digest {replica_digest} diverged "
+                f"from primary {primary_digest} after convergence"
+            )
+            return
+    # --- the survivors still take writes ------------------------------
+    probe = {
+        "sql": "INSERT INTO kv VALUES (999991, 'post-fault')",
+        "probe": "SELECT k FROM kv WHERE k = 999991",
+    }
+    if _resolve_statement(client, probe, plan, cluster) not in (
+        "acked", "ambiguous"
+    ):
+        cell["failure"] = "post-fault write did not land"
+        return
+    if not client.execute(probe["probe"]).rows:
+        cell["failure"] = "post-fault write not readable back"
+        return
+    cell["passed"] = True
+
+
+def _resolve_statement(
+    client: Client,
+    statement: Dict[str, str],
+    plan: _FaultPlan,
+    cluster: _Cluster,
+) -> str:
+    """Drive one write to resolution: ``"acked"`` (a clean server
+    acknowledgement), ``"ambiguous"`` (some attempt's outcome is
+    unknown and a later attempt hit its primary-key shadow), or the
+    last error (deadline exceeded — an availability failure).
+
+    The retry loop is the *client's documented contract* acted out:
+    ``NOT_PRIMARY``/``OVERLOADED`` retries happen inside the client;
+    connection drops and unknown-outcome replication errors surface
+    here, where the workload (which knows its writes are unique-keyed)
+    may safely re-submit.
+    """
+    deadline = time.monotonic() + _STATEMENT_DEADLINE
+    saw_unknown_outcome = False
+    last_error = "no attempt"
+    while time.monotonic() < deadline:
+        plan.maybe_heal(cluster)
+        try:
+            client.execute(statement["sql"])
+            return "acked"
+        except RemoteError as error:
+            if error.code == "CONSTRAINT_VIOLATION" and saw_unknown_outcome:
+                # an earlier unknown-outcome attempt DID apply (its key
+                # is occupied); whether it survives the failover is for
+                # the read-back resolution to decide
+                return "ambiguous"
+            if error.code == "CONSTRAINT_VIOLATION":
+                raise  # a genuine conflict would be a workload bug
+            last_error = f"{error.code}: {error}"
+            if error.code in ("REPLICATION_ERROR", "INTERNAL_ERROR"):
+                saw_unknown_outcome = True
+        except ClientConnectionError as error:
+            # the socket died with the request possibly delivered
+            last_error = f"connection: {error}"
+            saw_unknown_outcome = True
+        time.sleep(0.1)
+    return last_error
+
+
+def run_matrix(
+    seeds: List[int],
+    scenarios: Optional[List[str]] = None,
+    steps: int = 12,
+) -> Dict[str, Any]:
+    """Run the full cluster matrix; returns the report document."""
+    chosen = scenarios or sorted(SCENARIOS)
+    cells: List[Dict[str, Any]] = []
+    started = time.time()
+    for scenario in chosen:
+        for seed in seeds:
+            cells.append(run_cell(scenario, seed, steps=steps))
+    failures = [cell for cell in cells if not cell["passed"]]
+    return {
+        "seeds": seeds,
+        "scenarios": chosen,
+        "steps": steps,
+        "cells": len(cells),
+        "passed": len(cells) - len(failures),
+        "failed": len(failures),
+        "duration_seconds": round(time.time() - started, 3),
+        "failures": failures,
+        "results": cells,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience.cluster_matrix",
+        description="Run the whole-cluster chaos matrix.",
+    )
+    parser.add_argument(
+        "--seeds", default="0,1,2",
+        help="comma-separated seeds (default: 0,1,2)",
+    )
+    parser.add_argument(
+        "--scenario", action="append", default=None,
+        help="restrict to one scenario (repeatable; default: all of "
+        f"{', '.join(sorted(SCENARIOS))})",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=12,
+        help="workload rounds per cell (default: 12)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report here",
+    )
+    options = parser.parse_args(argv)
+    seeds = [int(part) for part in options.seeds.split(",") if part.strip()]
+    report = run_matrix(seeds, scenarios=options.scenario, steps=options.steps)
+    if options.out:
+        with open(options.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+    print(
+        f"cluster chaos matrix: {report['passed']}/{report['cells']} cells "
+        f"passed in {report['duration_seconds']}s"
+    )
+    if report["failed"]:
+        print(f"\n{report['failed']} FAILING cell(s):", file=sys.stderr)
+        for cell in report["failures"]:
+            print(
+                f"  scenario={cell['scenario']} seed={cell['seed']}: "
+                f"{cell['failure']}\n"
+                "    repro: PYTHONPATH=src python -m "
+                "repro.resilience.cluster_matrix "
+                f"--scenario {cell['scenario']} --seeds {cell['seed']}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,10 @@ life cycle is::
                                       <- METRICS {text}
     HEALTH                            ->
                                       <- HEALTH {state, liveness, ...}
+    CLUSTER_STATE                     ->
+                                      <- CLUSTER_STATE {node, role, epoch,
+                                                        sequence, lag,
+                                                        leader?, peers?}
     PING                              ->
                                       <- PONG
     CLOSE                             ->
@@ -59,6 +63,7 @@ from ..errors import (
     ExecutionError,
     FencedError,
     IntegrityError,
+    NotPrimaryError,
     OverloadedError,
     PlanningError,
     ProtocolError,
@@ -108,6 +113,7 @@ _ERROR_CODE_TABLE: Tuple[Tuple[type, str], ...] = (
     (OverloadedError, "OVERLOADED"),
     (ShuttingDownError, "SHUTTING_DOWN"),
     (ProtocolError, "PROTOCOL_ERROR"),
+    (NotPrimaryError, "NOT_PRIMARY"),
     (FencedError, "FENCED"),
     (DivergenceError, "DIVERGED"),
     (ReplicationError, "REPLICATION_ERROR"),
@@ -136,6 +142,9 @@ ERROR_CODES: Dict[str, str] = {
     "PROTOCOL_ERROR": "malformed frame or message",
     "AUTH_FAILED": "authentication token rejected",
     "UNSUPPORTED": "request type not supported by this server",
+    "NOT_PRIMARY": "write sent to a non-primary cluster node; follow the "
+    "ERROR frame's leader_hint (the statement was never executed, so the "
+    "redirected retry is safe)",
     "FENCED": "node was deposed by a failover; writes go to the new primary",
     "DIVERGED": "replica quarantined itself after a digest mismatch",
     "REPLICATION_ERROR": "replication protocol or topology problem",

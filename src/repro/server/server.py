@@ -34,6 +34,7 @@ from ..budget import CancellationToken, QueryBudget
 from ..core.database import Database, sql_is_write
 from ..errors import (
     DatabaseError,
+    NotPrimaryError,
     ProtocolError,
     ShuttingDownError,
 )
@@ -97,6 +98,7 @@ class Server:
         max_queue: int = 64,
         backlog: int = 32,
         supervisor=None,
+        cluster=None,
     ):
         self.db = db
         self.host = host
@@ -110,6 +112,12 @@ class Server:
         self.supervisor = supervisor
         if supervisor is not None:
             supervisor.scheduler = self.scheduler
+        #: Optional cluster hook (a :class:`~repro.replication.node.
+        #: ClusterNode`). When set: writes are gated on being the
+        #: current primary (``NOT_PRIMARY`` + leader hint otherwise),
+        #: acknowledged only after the cluster's semi-sync barrier,
+        #: and ``CLUSTER_STATE`` / ``HEALTH`` expose replication state.
+        self.cluster = cluster
         self.sessions: Dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
         self._listener: Optional[socket.socket] = None
@@ -256,13 +264,17 @@ class Server:
             sock.close()
             return
         session = self._register_session(hello, sock, address)
-        self._send_safely(sock, lock, {
+        hello_ok = {
             "type": "HELLO_OK",
             "protocol": protocol.PROTOCOL_VERSION,
             "session": session.name,
             "role": self.db.role,
             "health": self.db.health.state,
-        })
+        }
+        if self.cluster is not None:
+            hello_ok["node"] = self.cluster.name
+            hello_ok["leader"] = self.cluster.leader_hint()
+        self._send_safely(sock, lock, hello_ok)
         reader = threading.Thread(
             target=self._reader_loop,
             args=(session,),
@@ -354,6 +366,10 @@ class Server:
             return self._send_safely(
                 session.sock, lock, self._health_message(request.get("id"))
             )
+        if kind == "CLUSTER_STATE":
+            return self._send_safely(
+                session.sock, lock, self._cluster_state_message(request.get("id"))
+            )
         if kind == "PING":
             return self._send_safely(session.sock, lock, {"type": "PONG"})
         if kind == "CLOSE":
@@ -378,6 +394,7 @@ class Server:
         return self._send_result(session, lock, request_id, result)
 
     def _run_statement(self, session: Session, request):
+        cluster = self.cluster
         statement_budget = protocol.budget_from_wire(request.get("budget"))
         effective = QueryBudget.tightest(
             self.db.planner_options.budget,
@@ -400,13 +417,24 @@ class Server:
             runner = lambda: self.db.execute(sql, token=token)  # noqa: E731
         if session.disconnected:
             raise ShuttingDownError("client disconnected")
+        if is_write and cluster is not None and not cluster.is_primary():
+            raise NotPrimaryError(
+                f"{cluster.name} is not the primary; "
+                "writes go to the current leader",
+                leader_hint=cluster.leader_hint(),
+            )
         session.active_token = token
         session.statements += 1
         try:
             if is_write:
-                return self.scheduler.execute_write(
+                result = self.scheduler.execute_write(
                     runner, token=token, session=session.name
                 )
+                if cluster is not None:
+                    # semi-sync: the client's acknowledgement is held
+                    # until the cluster's ack quorum has the write
+                    cluster.after_write()
+                return result
             return self.scheduler.run_read(runner)
         finally:
             session.active_token = None
@@ -450,12 +478,16 @@ class Server:
         if not isinstance(error, (DatabaseError, ProtocolError)):
             # an engine bug, not a user error — keep serving, but say so
             code = "INTERNAL_ERROR"
-        return self._send_safely(session.sock, lock, {
+        frame = {
             "type": "ERROR",
             "id": request_id,
             "code": code,
             "message": str(error),
-        })
+        }
+        hint = getattr(error, "leader_hint", None)
+        if hint is not None:
+            frame["leader_hint"] = hint
+        return self._send_safely(session.sock, lock, frame)
 
     def _health_message(self, request_id=None) -> Dict[str, Any]:
         """The HEALTH response: the engine's health state plus, when a
@@ -476,6 +508,29 @@ class Server:
         }
         if self.supervisor is not None:
             message["supervisor"] = self.supervisor.status()
+        if self.cluster is not None:
+            message["replication"] = self.cluster.replication_status()
+        return message
+
+    def _cluster_state_message(self, request_id=None) -> Dict[str, Any]:
+        """The CLUSTER_STATE response. Standalone servers answer with
+        their role and no topology, so probes never need a special
+        case; cluster nodes answer with the full node state."""
+        if self.cluster is not None:
+            message = self.cluster.state_message()
+        else:
+            message = {
+                "node": None,
+                "role": self.db.role,
+                "epoch": None,
+                "sequence": None,
+                "lag": None,
+                "health": self.db.health.state,
+                "leader": None,
+                "peers": [],
+            }
+        message["type"] = "CLUSTER_STATE"
+        message["id"] = request_id
         return message
 
     # -- small requests -------------------------------------------------

@@ -24,8 +24,12 @@ SELECT ...;`` runs like any other statement. Meta-commands start with
                       (needs an attached cluster)
 ``\\promote [NAME]``   fail over to replica NAME (or the most caught-up
                       healthy replica); the old primary is fenced
+``\\cluster status``   this node's cluster view: role, epoch, sequence,
+                      lag, believed leader, and last known peer states
+                      (works locally and over a remote connection)
 ``\\health``           engine health state, last durable-write error,
-                      retry/breaker counters, and supervisor status
+                      retry/breaker counters, replication role/epoch/lag
+                      on a cluster node, and supervisor status
                       (works locally and over a remote connection)
 ``.quit``             exit
 ====================  ====================================================
@@ -96,10 +100,15 @@ class Shell:
         cluster=None,
         client=None,
         supervisor=None,
+        node=None,
     ):
         #: Optional :class:`~repro.resilience.supervisor.Supervisor` —
         #: enriches ``\health`` with checkpoint/probe/heal counters.
         self.supervisor = supervisor
+        #: Optional :class:`~repro.replication.node.ClusterNode` —
+        #: enables ``\cluster status`` and the replication section of
+        #: ``\health`` when the shell runs inside a cluster process.
+        self.node = node
         #: Optional :class:`~repro.replication.ReplicationManager` —
         #: enables ``\replica status`` and ``\promote``. When attached,
         #: the shell's database is the cluster's current primary's.
@@ -220,6 +229,8 @@ class Shell:
             self._replica_command(argument)
         elif name == "promote":
             self._promote(argument)
+        elif name == "cluster":
+            self._cluster_command(argument)
         elif name == "health":
             self._health()
         else:
@@ -324,6 +335,62 @@ class Shell:
                 f"acked={row['acked']} shipped={row['shipped']} {row['state']}"
             )
 
+    def _cluster_command(self, argument: str) -> None:
+        """``\\cluster status`` — this node's cluster view, rendered
+        identically whether the state comes from an in-process
+        :class:`~repro.replication.node.ClusterNode` or over the wire
+        via ``CLUSTER_STATE``."""
+        if argument.lower() not in ("", "status"):
+            self.write("usage: \\cluster status")
+            return
+        if self.client is not None:
+            try:
+                state = self.client.cluster_state()
+            except DatabaseError as error:
+                self.write(self._format_error(error))
+                return
+        elif self.node is not None:
+            state = self.node.state_message()
+        else:
+            self.write("error: this is not a cluster node")
+            return
+        leader = state.get("leader") or {}
+        leader_text = (
+            f"{leader.get('node')} ({leader.get('host')}:"
+            f"{leader.get('port')})"
+            if leader
+            else "unknown (mid-election?)"
+        )
+        self.write(
+            f"node        {state.get('node', '?')}  "
+            f"role={state.get('role', '?')}  "
+            f"epoch={state.get('epoch')}  seq={state.get('sequence')}  "
+            f"lag={state.get('lag')}"
+        )
+        flags = [
+            flag
+            for flag in ("fenced", "quarantined")
+            if state.get(flag)
+        ]
+        if flags:
+            self.write(f"flags       {', '.join(flags)}")
+        self.write(f"health      {state.get('health', '?')}")
+        self.write(f"leader      {leader_text}")
+        peers = state.get("peers") or []
+        if not peers:
+            self.write("peers       (none seen)")
+            return
+        for peer in peers:
+            age = ""
+            if peer.get("polled_at"):
+                age = f"  seen {max(0.0, time.time() - peer['polled_at']):.1f}s ago"
+            self.write(
+                f"  {peer.get('node', '?'):<12} "
+                f"{peer.get('role', '?'):<8} "
+                f"e{peer.get('epoch')} seq={peer.get('sequence')} "
+                f"lag={peer.get('lag')}{age}"
+            )
+
     def _promote(self, argument: str) -> None:
         """``\\promote [NAME]`` — manual failover to a replica."""
         if self.cluster is None:
@@ -361,6 +428,9 @@ class Shell:
             )
             if info.get("last_error"):
                 self.write(f"last error  {info['last_error']}")
+            replication = info.get("replication")
+            if replication:
+                self._render_replication(replication)
             supervisor = info.get("supervisor")
             if supervisor:
                 self._render_supervisor(supervisor)
@@ -375,8 +445,40 @@ class Shell:
         )
         if health.get("last_error"):
             self.write(f"last error  {health['last_error']}")
+        if self.node is not None:
+            self._render_replication(self.node.replication_status())
         if self.supervisor is not None:
             self._render_supervisor(self.supervisor.status())
+
+    def _render_replication(self, status: dict) -> None:
+        """Render the HEALTH message's replication section: role,
+        epoch, and apply lag, so replica staleness is visible from the
+        operator's seat."""
+        line = (
+            f"replication {status.get('role', '?')} "
+            f"e{status.get('epoch')} seq={status.get('sequence')} "
+            f"lag={status.get('lag')}"
+        )
+        flags = [
+            flag
+            for flag in ("fenced", "quarantined")
+            if status.get(flag)
+        ]
+        if flags:
+            line += f" [{', '.join(flags)}]"
+        self.write(line)
+        leader = status.get("leader")
+        if leader:
+            self.write(f"leader      {leader}")
+        replicas = status.get("replicas")
+        if replicas:
+            for name, lag in sorted(replicas.items()):
+                self.write(f"  replica   {name:<12} lag={lag}")
+        elif status.get("role") == "replica":
+            self.write(
+                "  connected "
+                + ("yes" if status.get("connected") else "no (dialing)")
+            )
 
     def _render_supervisor(self, status: dict) -> None:
         """Render the counters a supervisor's ``status()`` exposes."""

@@ -294,6 +294,88 @@ class TestFailover:
         with pytest.raises(ReplicationError, match="no healthy replica"):
             manager.promote()
 
+    def test_applied_sequence_tie_breaks_deterministically(self, tmp_path):
+        """Two equally-caught-up candidates: the election must be a
+        function of cluster state, not dict order — the highest
+        ``(applied_sequence, name)`` pair wins."""
+        manager = make_cluster(tmp_path, replicas=2, heartbeat_timeout=3)
+        for sql in WORKLOAD:
+            manager.execute(sql)
+        manager.step(4)
+        r1, r2 = manager.replicas["r1"], manager.replicas["r2"]
+        assert r1.applied_sequence == r2.applied_sequence  # a real tie
+        manager.primary.crashed = True
+        manager.step(8)
+        assert manager.primary.name == "r2"  # name breaks the tie, always
+
+    def test_most_caught_up_wins_over_name_order(self, tmp_path):
+        """The tiebreaker never outranks the log position: a
+        further-behind replica loses even with the greater name."""
+        manager = make_cluster(
+            tmp_path, replicas=2, heartbeat_timeout=100, backoff_base=50
+        )
+        manager.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+        manager.step(4)
+        r2 = manager.replicas["r2"]
+        r2.crashed = True  # r2 misses the next writes (backoff keeps it down)
+        manager.execute("INSERT INTO t VALUES (1)")
+        manager.execute("INSERT INTO t VALUES (2)")
+        manager.step(1)  # r1 applies the tail before r2 can reconnect
+        r1 = manager.replicas["r1"]
+        assert r1.applied_sequence > r2.applied_sequence
+        r2.crashed = False  # healthy again, but behind
+        promoted = manager.promote()
+        assert promoted.name == "r1"
+
+    def test_auto_promote_skips_quarantined_candidate(self, tmp_path):
+        """A quarantined replica's state is suspect by its own digest —
+        it can never win an election, even as the only caught-up node
+        with the winning name."""
+        manager = make_cluster(tmp_path, replicas=2, heartbeat_timeout=3)
+        for sql in WORKLOAD:
+            manager.execute(sql)
+        manager.step(4)
+        manager.replicas["r2"].quarantined = True  # would win the tie
+        manager.primary.crashed = True
+        manager.step(8)
+        assert manager.primary.name == "r1"
+
+    def test_manual_promote_rejects_quarantined_candidate(self, tmp_path):
+        manager = make_cluster(tmp_path, replicas=2)
+        manager.replicas["r2"].quarantined = True
+        with pytest.raises(ReplicationError, match="quarantined"):
+            manager.promote("r2")
+
+    def test_back_to_back_failovers_rejoin_and_converge(self, tmp_path):
+        """Two failovers in a row: each deposed primary rejoins as a
+        replica of the next epoch, and the whole cluster converges on
+        one history with strictly increasing epochs."""
+        manager = make_cluster(tmp_path, replicas=2, heartbeat_timeout=3)
+        for sql in WORKLOAD:
+            manager.execute(sql)
+        manager.step(4)
+        first = manager.primary
+        second = manager.promote()  # failover #1
+        assert second.epoch == first.epoch + 1
+        manager.step(25)  # let the deposed primary rejoin
+        assert first.name in manager.replicas
+        manager.execute("INSERT INTO accounts VALUES (20, 'x', 1)")
+        manager.step(4)
+        third = manager.promote()  # failover #2, immediately after
+        assert third.epoch == second.epoch + 1
+        assert third.name != second.name
+        manager.step(25)  # both deposed primaries now follow `third`
+        assert second.name in manager.replicas
+        manager.execute("INSERT INTO accounts VALUES (21, 'y', 2)")
+        manager.step(25)
+        expected = combined_digest(manager.primary.db)
+        for replica in manager.replicas.values():
+            assert combined_digest(replica.db) == expected
+        rows = manager.primary.db.execute(
+            "SELECT id FROM accounts ORDER BY id"
+        ).rows
+        assert (20,) in rows and (21,) in rows
+
 
 class TestDivergence:
     def diverge(self, manager, replica):
