@@ -13,6 +13,11 @@
   heartbeat failover, ``NOT_PRIMARY`` redirects). ``--initial-primary``
   names the first boot's primary; restarted nodes rediscover the
   current leader regardless.
+
+``--http-port PORT`` (with ``--serve`` or ``--cluster``) additionally
+serves the read-only HTTP observability endpoint — ``/metrics``,
+``/health``, ``/events``, ``/traces`` — so probes and ``curl`` can read
+a node during exactly the failures that make the wire protocol unusable.
 """
 
 from __future__ import annotations
@@ -89,6 +94,12 @@ def main(argv: Optional[list] = None) -> None:
         help="with --cluster: replicas that must apply a write before "
              "the client is acknowledged",
     )
+    parser.add_argument(
+        "--http-port", metavar="PORT", type=int, default=None,
+        help="with --serve or --cluster: also serve the HTTP "
+             "observability endpoint (/metrics, /health, /events, "
+             "/traces) on this port (0 picks a free port)",
+    )
     args = parser.parse_args(argv)
     if sum(map(bool, (args.serve, args.connect, args.cluster))) > 1:
         parser.error("--serve, --connect and --cluster are mutually exclusive")
@@ -137,6 +148,7 @@ def _serve(args) -> None:
     if supervisor is not None:
         supervisor.start_probes()
     bound_host, bound_port = server.address
+    http = _start_http(args, bound_host, server)
     print(f"repro server listening on {bound_host}:{bound_port}")
     if supervisor is not None:
         print(f"supervised data dir: {supervisor.data_dir}")
@@ -144,9 +156,33 @@ def _serve(args) -> None:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\ndraining...")
+        if http is not None:
+            http.stop()
         server.shutdown(drain=True)
         if supervisor is not None:
             supervisor.stop()
+
+
+def _start_http(args, host: str, server):
+    """Start the HTTP observability endpoint next to a ``--serve``
+    server when ``--http-port`` was given."""
+    if args.http_port is None:
+        return None
+    from .observability import ObservabilityHttpServer
+
+    def health():
+        message = server._health_message()
+        return {
+            key: value
+            for key, value in message.items()
+            if key not in ("type", "id")
+        }
+
+    http = ObservabilityHttpServer(
+        host=host, port=args.http_port, health_provider=health
+    ).start()
+    print(f"observability endpoint on {http.url()}")
+    return http
 
 
 def _cluster(args) -> None:
@@ -171,6 +207,7 @@ def _cluster(args) -> None:
             heartbeat_timeout=args.heartbeat_timeout,
             ack_replicas=args.ack_replicas,
             auth_token=args.auth,
+            http_port=args.http_port,
         ).start()
     except DatabaseError as error:
         raise SystemExit(f"error: {error}")
@@ -179,6 +216,8 @@ def _cluster(args) -> None:
         f"cluster node {node.name} ({node.role}) listening on "
         f"{host}:{port}; replication on {node.spec.repl_port}"
     )
+    if node.http is not None:
+        print(f"observability endpoint on {node.http.url()}")
     print(f"data dir: {node.data_dir}")
     try:
         node.server.serve_forever()

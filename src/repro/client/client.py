@@ -50,6 +50,14 @@ or unreachable replica silently falls back to the primary — the
 preference trades bounded staleness for primary offload, never
 availability.
 
+Distributed tracing: when tracing is enabled (the default), every
+``QUERY`` / ``PREPARE`` / ``EXECUTE`` frame is stamped with a
+traceparent-style ``trace`` value minted per statement, and the client
+records the root span locally. The stamp is applied *before* the retry
+loops, so a write bounced around by ``NOT_PRIMARY`` or ``OVERLOADED``
+keeps one trace_id across every hop — :meth:`Client.traces` (or a
+node's HTTP ``/traces``) then shows the full journey.
+
 Backpressure policy: an ``OVERLOADED`` error means the server's write
 queue was full and the statement was **never admitted** — uniquely
 safe to retry, write or not. The client honors the pushback by backing
@@ -67,6 +75,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.result import ResultSet
 from ..errors import ClientConnectionError, ProtocolError, RemoteError
+from ..observability import tracing as observability_tracing
 from ..observability.metrics import recording_registry
 from ..resilience.retry import RetryPolicy
 from ..server import protocol
@@ -483,14 +492,30 @@ class Client:
         message: Dict[str, Any] = {"type": "QUERY", "sql": sql}
         if budget is not None:
             message["budget"] = budget
-        return self._collect_result(
-            message, retry=self.reconnect and idempotent
-        )
+        trace = self._stamp_trace(message)
+        if trace is None:
+            return self._collect_result(
+                message, retry=self.reconnect and idempotent
+            )
+        with observability_tracing.span(
+            "client.execute", context=trace, own=True,
+            sql=strip_leading_sql_comments(sql)[:80],
+        ):
+            return self._collect_result(
+                message, retry=self.reconnect and idempotent
+            )
 
     def prepare(self, sql: str) -> Prepared:
-        reply = self._request(
-            {"type": "PREPARE", "sql": sql}, retry=self.reconnect
-        )
+        message: Dict[str, Any] = {"type": "PREPARE", "sql": sql}
+        trace = self._stamp_trace(message)
+        if trace is None:
+            reply = self._request(message, retry=self.reconnect)
+        else:
+            with observability_tracing.span(
+                "client.prepare", context=trace, own=True,
+                sql=strip_leading_sql_comments(sql)[:80],
+            ):
+                reply = self._request(message, retry=self.reconnect)
         prepared = Prepared(
             self, sql, reply["statement"],
             reply.get("params", 0), reply.get("columns", []),
@@ -506,8 +531,35 @@ class Client:
         }
         if budget is not None:
             message["budget"] = budget
-        # prepared statements are SELECT-only, hence always retryable
-        return self._collect_result(message, retry=self.reconnect)
+        trace = self._stamp_trace(message)
+        if trace is None:
+            # prepared statements are SELECT-only, hence always retryable
+            return self._collect_result(message, retry=self.reconnect)
+        with observability_tracing.span(
+            "client.execute", context=trace, own=True,
+            statement=prepared.handle,
+        ):
+            return self._collect_result(message, retry=self.reconnect)
+
+    def _stamp_trace(
+        self, message: Dict[str, Any]
+    ) -> Optional[observability_tracing.TraceContext]:
+        """Mint a root trace context and stamp it on ``message``.
+
+        Stamping happens *before* the retry loops, so an OVERLOADED
+        backoff or a NOT_PRIMARY leader chase re-sends the same
+        ``trace`` value — the whole journey shares one trace_id.
+        Returns ``None`` (nothing stamped) when tracing is disabled.
+        """
+        collector = observability_tracing.recording_collector()
+        if collector is None:
+            return None
+        context = observability_tracing.TraceContext.new(
+            sampled=collector.sample()
+        )
+        if context.sampled:
+            message["trace"] = context.to_wire()
+        return context if context.sampled else None
 
     def set_budget(self, budget: Optional[Dict[str, Any]]) -> None:
         """Install (or clear, with None) the session-level budget."""
@@ -532,6 +584,49 @@ class Client:
         runs the node, and — on a cluster node — the ``replication``
         section (role, epoch, apply lag, leader)."""
         reply = self._request({"type": "HEALTH"}, retry=self.reconnect)
+        return {
+            key: value
+            for key, value in reply.items()
+            if key not in ("type", "id")
+        }
+
+    def traces(
+        self,
+        trace_id: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Finished spans from the server's collector (oldest first),
+        optionally filtered to one ``trace_id``. On a cluster, each node
+        answers with *its* spans — stitching a cross-node trace means
+        asking every node (or the HTTP ``/traces`` endpoints) and
+        merging on ``trace_id``."""
+        message: Dict[str, Any] = {"type": "TRACES"}
+        if trace_id is not None:
+            message["trace_id"] = trace_id
+        if limit is not None:
+            message["limit"] = limit
+        return self._request(message, retry=self.reconnect).get("spans", [])
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """The server's structured event journal (oldest first),
+        optionally filtered by ``kind`` (``election_won``,
+        ``epoch_bump``, ``health``, ...)."""
+        message: Dict[str, Any] = {"type": "EVENTS"}
+        if kind is not None:
+            message["kind"] = kind
+        if limit is not None:
+            message["limit"] = limit
+        return self._request(message, retry=self.reconnect).get("events", [])
+
+    def slow_queries(self) -> Dict[str, Any]:
+        """The server's slow-query log: ``{node, threshold_ms,
+        entries}``, each entry carrying sql, elapsed_ms, session,
+        trace_id and node attribution."""
+        reply = self._request({"type": "SLOWLOG"}, retry=self.reconnect)
         return {
             key: value
             for key, value in reply.items()

@@ -75,6 +75,7 @@ import zlib
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from ..errors import DurabilityError, RecoveryError
+from ..observability import tracing as tracing_module
 from ..observability.metrics import recording_registry
 from ..resilience.faults import (
     SITE_LOG_FSYNC,
@@ -350,6 +351,7 @@ class _LogFile:
         self._fsync_retry.call(attempt, retry_on=(OSError,), on_retry=note_retry)
         self.fsync_count += 1
         self._unsynced_batches = 0
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
         registry = recording_registry()
         if registry is not None:
             registry.counter(
@@ -359,7 +361,10 @@ class _LogFile:
             registry.histogram(
                 "repro_commandlog_fsync_ms",
                 help="Command-log fsync() latency in milliseconds.",
-            ).observe((time.perf_counter() - started) * 1000.0)
+            ).observe(elapsed_ms)
+        # a traced write sees its durability cost as a span (the writer
+        # thread carries the statement's trace context here)
+        tracing_module.record_span("log.fsync", elapsed_ms)
 
     def truncate(self) -> None:
         check_site(SITE_LOG_TRUNCATE, io=self._io)

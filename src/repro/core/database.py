@@ -42,6 +42,7 @@ from ..expr.scope import RelationBinding, Scope
 from ..graph.graph_view import GraphView, build_graph_view
 from ..observability import context as observability_context
 from ..observability import tracer as tracer_module
+from ..observability import tracing as tracing_module
 from ..observability.metrics import recording_registry
 from ..observability.slowlog import SlowQueryLog
 from ..observability.tracer import QueryTracer
@@ -252,7 +253,26 @@ class Database:
             ).observe(elapsed_ms)
         rows = len(result.rows) if result.rows else 0
         session = observability_context.current_session_label()
-        if self.slow_queries.observe(sql, elapsed_ms, rows, kind, session):
+        trace = tracing_module.current_trace()
+        if trace is not None:
+            # the execution span: parse + plan + run, as measured here
+            tracing_module.record_span(
+                "db.execute",
+                elapsed_ms,
+                context=trace,
+                kind=kind,
+                rows=rows,
+                session=session or None,
+            )
+        if self.slow_queries.observe(
+            sql,
+            elapsed_ms,
+            rows,
+            kind,
+            session,
+            trace_id=trace.trace_id if trace is not None else "",
+            node=tracing_module.current_node_label(),
+        ):
             if registry is not None:
                 registry.counter(
                     "repro_slow_queries_total",

@@ -15,12 +15,24 @@ Three cooperating pieces:
   per-session attribution;
 * :mod:`~repro.observability.context` — the ambient (thread-local)
   session label the network server installs so shared seams like the
-  slow-query log can attribute work to the client that sent it.
+  slow-query log can attribute work to the client that sent it;
+* :mod:`~repro.observability.tracing` — cluster-wide distributed
+  tracing: a W3C-traceparent-style :class:`TraceContext` stamped on
+  every client frame and shipped with every replicated record, plus a
+  bounded :class:`SpanCollector` served by the ``TRACES`` wire message
+  and the ``/traces`` HTTP route;
+* :mod:`~repro.observability.events` — a bounded structured
+  :class:`EventJournal` of control-plane transitions (elections, epoch
+  bumps, health changes, quarantine, breaker flips, checkpoints);
+* :mod:`~repro.observability.http` — the per-node stdlib HTTP endpoint
+  serving ``/metrics``, ``/health``, ``/events`` and ``/traces`` so a
+  node can be scraped without a database connection.
 
 See ``docs/observability.md`` for the full tour.
 """
 
 from .context import current_session_label, session_label, set_session_label
+from .events import Event, EventJournal, emit, get_journal
 from .metrics import (
     DEFAULT_BUCKETS_MS,
     Counter,
@@ -32,8 +44,20 @@ from .metrics import (
     recording_registry,
     set_enabled,
 )
+from .http import ObservabilityHttpServer
 from .slowlog import SlowQueryEntry, SlowQueryLog
 from .tracer import OperatorSpan, QueryTracer, current_tracer
+from .tracing import (
+    Span,
+    SpanCollector,
+    TraceContext,
+    current_trace,
+    get_collector,
+    record_span,
+    recording_collector,
+    set_tracing_enabled,
+    tracing_enabled,
+)
 
 __all__ = [
     "Counter",
@@ -53,4 +77,18 @@ __all__ = [
     "current_session_label",
     "set_session_label",
     "session_label",
+    "TraceContext",
+    "Span",
+    "SpanCollector",
+    "current_trace",
+    "get_collector",
+    "recording_collector",
+    "record_span",
+    "set_tracing_enabled",
+    "tracing_enabled",
+    "Event",
+    "EventJournal",
+    "emit",
+    "get_journal",
+    "ObservabilityHttpServer",
 ]

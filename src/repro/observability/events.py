@@ -1,0 +1,163 @@
+"""Structured event journal: the cluster's queryable flight recorder.
+
+Metrics say *how much*; traces say *how long*; this journal says *what
+happened and in what order*. Control-plane transitions that today only
+surface as log lines or in-memory tuples — elections won and lost,
+epoch bumps, ``NOT_PRIMARY`` redirects, HEALTHY→DEGRADED→RECOVERING
+health transitions, replica quarantine, circuit-breaker opens/closes,
+snapshot checkpoints — are emitted here as bounded, structured
+:class:`Event` records and served three ways: the ``EVENTS`` wire
+message, the shell's ``\\events``, and the per-node HTTP endpoint's
+``/events``.
+
+The journal is process-wide (like the metrics registry) and every event
+carries a ``node`` field, so the in-process cluster used by the test
+suite shares one journal whose events remain attributable, while a real
+deployment has one journal per node. Emission is one lock-protected
+append on control-plane paths only — never on the per-statement hot
+path — so there is no overhead story to tell.
+
+Event taxonomy (``kind`` values; see ``docs/observability.md``):
+
+================== =====================================================
+``election_won``    this node won an election (``epoch``)
+``election_lost``   an election attempt was abandoned (``reason``)
+``epoch_bump``      the node adopted a higher epoch (``epoch``, ``role``)
+``fenced``          a primary was deposed by a higher epoch (``winner``)
+``leader_adopted``  a replica adopted a (new) primary (``leader``)
+``not_primary``     a write was redirected with NOT_PRIMARY (``session``)
+``health``          a HealthMonitor transition (``from``, ``to``)
+``quarantine``      a replica quarantined itself on digest divergence
+``breaker_open``    a circuit breaker tripped open (``failures``)
+``breaker_close``   a circuit breaker closed again
+``checkpoint``      a supervisor snapshot checkpoint (``ok``)
+``heal``            a supervisor self-heal attempt (``ok``)
+================== =====================================================
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+
+class Event:
+    """One journal record: monotonic seq, wall-clock time, kind, detail."""
+
+    __slots__ = ("seq", "timestamp", "kind", "node", "detail")
+
+    def __init__(
+        self,
+        seq: int,
+        timestamp: float,
+        kind: str,
+        node: str = "",
+        detail: Optional[Dict[str, Any]] = None,
+    ):
+        self.seq = seq
+        self.timestamp = timestamp
+        self.kind = kind
+        self.node = node
+        self.detail = detail or {}
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "timestamp": self.timestamp,
+            "kind": self.kind,
+            "node": self.node,
+            "detail": self.detail,
+        }
+
+    def __repr__(self) -> str:
+        origin = f" node={self.node}" if self.node else ""
+        return f"Event(#{self.seq} {self.kind}{origin} {self.detail!r})"
+
+
+class EventJournal:
+    """A bounded, lock-safe ring of control-plane events.
+
+    ``seq`` is assigned from a process-wide monotonic counter *inside*
+    the journal lock, so "election before epoch bump" style ordering
+    assertions hold even when emitters race across threads.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self.emitted = 0
+
+    def emit(self, kind: str, node: str = "", **detail: Any) -> Event:
+        """Append one event; returns it (tests assert on the record)."""
+        with self._lock:
+            event = Event(
+                next(self._seq),
+                time.time(),
+                kind,
+                node or "",
+                {k: v for k, v in detail.items() if v is not None},
+            )
+            self._events.append(event)
+            self.emitted += 1
+        return event
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        node: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Event]:
+        """Journal contents oldest-first, optionally filtered."""
+        with self._lock:
+            out = list(self._events)
+        if kind:
+            out = [e for e in out if e.kind == kind]
+        if node:
+            out = [e for e in out if e.node == node]
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def export(
+        self,
+        kind: Optional[str] = None,
+        node: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """JSON-ready event dicts (oldest first)."""
+        return [e.as_dict() for e in self.events(kind, node, limit)]
+
+    def export_json(self, kind: Optional[str] = None) -> str:
+        return json.dumps(self.export(kind), indent=2, sort_keys=True)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+# ---------------------------------------------------------------------------
+# the process-wide default journal
+# ---------------------------------------------------------------------------
+
+_JOURNAL = EventJournal()
+
+
+def get_journal() -> EventJournal:
+    """The process-wide journal (control-plane only; always on)."""
+    return _JOURNAL
+
+
+def emit(kind: str, node: str = "", **detail: Any) -> Event:
+    """Emit one event into the process-wide journal."""
+    return _JOURNAL.emit(kind, node, **detail)

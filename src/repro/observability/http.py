@@ -1,0 +1,177 @@
+"""Per-node HTTP observability endpoint (stdlib ``http.server``).
+
+Nodes must be scrappable without a database connection: a probe or a
+human with ``curl`` should read a node's health during the exact
+failures (auth broken, session queue full, primary fenced) that make
+the wire protocol unusable. The endpoint therefore runs on its own
+daemon threads, shares nothing with the session server but the
+process-wide observability singletons, and serves:
+
+=============== ========================================================
+``/metrics``     Prometheus text exposition (the existing registry)
+``/health``      JSON health document (same payload as the wire
+                 ``HEALTH`` message, minus the envelope)
+``/events``      JSON event journal (``?kind=`` and ``?limit=`` filters)
+``/traces``      JSON span export (``?trace_id=`` and ``?limit=``)
+=============== ========================================================
+
+Enabled with ``--http-port`` on both ``--serve`` and ``--cluster``
+nodes. GET-only, loopback-oriented, deliberately unauthenticated —
+the same read-only trust model as a Prometheus scrape target.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from . import events as observability_events
+from . import tracing as observability_tracing
+from .metrics import get_registry
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one GET to the observability singletons (no state)."""
+
+    #: Set by :class:`ObservabilityHttpServer` on the handler subclass.
+    health_provider: Optional[Callable[[], Dict[str, Any]]] = None
+    node_name: str = ""
+
+    server_version = "repro-observability/1"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        route = parsed.path.rstrip("/") or "/"
+        try:
+            if route in ("/", "/metrics"):
+                body = get_registry().render_prometheus(
+                    _first(query, "filter")
+                )
+                self._respond(
+                    200, body + "\n", "text/plain; version=0.0.4"
+                )
+            elif route == "/health":
+                payload = {"node": self.node_name}
+                provider = self.health_provider
+                if provider is not None:
+                    payload.update(provider())
+                self._respond_json(200, payload)
+            elif route == "/events":
+                journal = observability_events.get_journal()
+                self._respond_json(
+                    200,
+                    {
+                        "node": self.node_name,
+                        "events": journal.export(
+                            kind=_first(query, "kind"),
+                            limit=_int(query, "limit"),
+                        ),
+                    },
+                )
+            elif route == "/traces":
+                collector = observability_tracing.get_collector()
+                self._respond_json(
+                    200,
+                    {
+                        "node": self.node_name,
+                        "spans": collector.export(
+                            trace_id=_first(query, "trace_id"),
+                            limit=_int(query, "limit"),
+                        ),
+                    },
+                )
+            else:
+                self._respond_json(404, {"error": f"no route {route!r}"})
+        except Exception as error:  # pragma: no cover - defensive
+            self._respond_json(500, {"error": str(error)})
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr lines (scrapes are frequent)."""
+
+    # ------------------------------------------------------------------
+
+    def _respond(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _respond_json(self, status: int, payload: Dict[str, Any]) -> None:
+        self._respond(
+            status,
+            json.dumps(payload, sort_keys=True, default=str) + "\n",
+            "application/json",
+        )
+
+
+def _first(query: Dict[str, Any], key: str) -> Optional[str]:
+    values = query.get(key)
+    return values[0] if values else None
+
+
+def _int(query: Dict[str, Any], key: str) -> Optional[int]:
+    value = _first(query, key)
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        return None
+
+
+class ObservabilityHttpServer:
+    """A daemon-threaded HTTP server bound to one node's observability.
+
+    ``health_provider`` returns the node's health document (typically
+    the wire ``HEALTH`` payload); it is called per request so the
+    served state is always current.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health_provider: Optional[Callable[[], Dict[str, Any]]] = None,
+        node_name: str = "",
+    ):
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {"health_provider": staticmethod(health_provider)
+             if health_provider is not None else None,
+             "node_name": node_name},
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "ObservabilityHttpServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"obs-http:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def url(self, route: str = "/") -> str:
+        return f"http://{self.host}:{self.port}{route}"
+
+    def __repr__(self) -> str:
+        return f"ObservabilityHttpServer({self.host}:{self.port})"

@@ -24,7 +24,7 @@ from typing import Deque, List, Optional
 class SlowQueryEntry:
     """One recorded slow statement."""
 
-    __slots__ = ("sql", "elapsed_ms", "rows", "kind", "session")
+    __slots__ = ("sql", "elapsed_ms", "rows", "kind", "session", "trace_id", "node")
 
     def __init__(
         self,
@@ -33,6 +33,8 @@ class SlowQueryEntry:
         rows: int,
         kind: str,
         session: str = "",
+        trace_id: str = "",
+        node: str = "",
     ):
         self.sql = sql
         self.elapsed_ms = elapsed_ms
@@ -40,10 +42,31 @@ class SlowQueryEntry:
         self.kind = kind
         #: Server session label ("" when the statement ran in-process).
         self.session = session
+        #: Distributed trace id ("" when the statement was untraced) —
+        #: join key into the span collector / ``TRACES`` wire message.
+        self.trace_id = trace_id
+        #: Cluster node name ("" for a standalone server / in-process).
+        self.node = node
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the ``SLOWLOG`` wire message payload)."""
+        return {
+            "sql": self.sql,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "rows": self.rows,
+            "kind": self.kind,
+            "session": self.session,
+            "trace_id": self.trace_id,
+            "node": self.node,
+        }
 
     def __repr__(self) -> str:
         head = self.sql if len(self.sql) <= 60 else self.sql[:57] + "..."
         origin = f", session={self.session!r}" if self.session else ""
+        if self.node:
+            origin += f", node={self.node!r}"
+        if self.trace_id:
+            origin += f", trace={self.trace_id[:8]}.."
         return (
             f"SlowQueryEntry({self.elapsed_ms:.1f} ms, {self.kind}, "
             f"rows={self.rows}{origin}, {head!r})"
@@ -78,13 +101,17 @@ class SlowQueryLog:
         rows: int,
         kind: str,
         session: str = "",
+        trace_id: str = "",
+        node: str = "",
     ) -> bool:
         """Record the statement if it crossed the threshold."""
         with self._lock:
             if self.threshold_ms is None or elapsed_ms < self.threshold_ms:
                 return False
             self._entries.append(
-                SlowQueryEntry(sql, elapsed_ms, rows, kind, session)
+                SlowQueryEntry(
+                    sql, elapsed_ms, rows, kind, session, trace_id, node
+                )
             )
             return True
 

@@ -1,0 +1,502 @@
+"""Cluster-wide distributed tracing: one trace per statement lifecycle.
+
+Where :mod:`~repro.observability.tracer` meters a single statement's
+operator tree *inside* one process (EXPLAIN ANALYZE), this module
+follows a statement *across* processes: client → server session →
+single-writer queue → execution → command-log fsync → replication ship
+→ replica apply. The design is a deliberately small subset of W3C Trace
+Context:
+
+* :class:`TraceContext` — an immutable ``(trace_id, span_id, parent_id,
+  sampled)`` tuple serialized to/from the ``traceparent`` header format
+  (``00-<32 hex>-<16 hex>-<01|00>``). The client mints one root context
+  per statement and stamps it on every ``QUERY``/``PREPARE``/``EXECUTE``
+  frame; because the stamp happens *before* the retry loop, a write
+  bounced off a deposed primary with ``NOT_PRIMARY`` retries under the
+  **same** trace_id and the trace shows both nodes.
+* an ambient per-thread context stack mirroring the budget/tracer
+  plumbing (``current_trace()`` is one thread-local read; ``activate``
+  is a context manager with identity-based removal), so deep seams like
+  the command log's fsync need no plumbed-through argument.
+* :class:`SpanCollector` — a bounded, lock-safe ring of finished
+  :class:`Span` objects with head-based sampling and JSON export,
+  served by the ``TRACES`` wire message and the per-node HTTP
+  endpoint's ``/traces``.
+
+The hot-path contract matches the metrics registry: with tracing
+disabled (``REPRO_TRACING=0`` or :func:`set_tracing_enabled(False)`),
+:func:`recording_collector` returns ``None`` and every seam skips with
+a single ``is None`` check — no context minted, no frame stamped, no
+span allocated. ``benchmarks/check_observability_overhead.py`` pins the
+enabled-vs-disabled server-path overhead below 10%.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+#: ``traceparent`` version prefix we emit (and the only one we parse).
+_WIRE_VERSION = "00"
+
+class _IdSource(threading.local):
+    """Per-thread PRNG for span/trace ids.
+
+    Ids are correlation handles, not secrets: a urandom-*seeded* PRNG
+    per thread (no lock, no per-id syscall) keeps minting an id to a
+    fraction of a microsecond on the per-statement hot path.
+    """
+
+    def __init__(self):
+        self.rng = random.Random(
+            int.from_bytes(os.urandom(8), "big")
+            ^ threading.get_ident()
+        )
+
+
+_IDS = _IdSource()
+
+
+def new_trace_id() -> str:
+    """A 128-bit random trace id (32 lowercase hex chars)."""
+    return "%032x" % _IDS.rng.getrandbits(128)
+
+
+def new_span_id() -> str:
+    """A 64-bit random span id (16 lowercase hex chars)."""
+    return "%016x" % _IDS.rng.getrandbits(64)
+
+
+class TraceContext:
+    """The propagated identity of one trace position (immutable).
+
+    ``span_id`` names the span that owns this context; children record
+    it as their ``parent_id``. ``sampled`` is decided once, at the root
+    (by the client's collector), and rides along so downstream nodes
+    skip span recording for unsampled traces without re-rolling.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "sampled")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str] = None,
+        sampled: bool = True,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.sampled = sampled
+
+    @classmethod
+    def new(cls, sampled: bool = True) -> "TraceContext":
+        """Mint a root context (no parent)."""
+        return cls(new_trace_id(), new_span_id(), None, sampled)
+
+    def child(self) -> "TraceContext":
+        """A child context: same trace, fresh span, parent = this span."""
+        return TraceContext(
+            self.trace_id, new_span_id(), self.span_id, self.sampled
+        )
+
+    # ------------------------------------------------------------------
+    # wire format (traceparent-style)
+    # ------------------------------------------------------------------
+
+    def to_wire(self) -> str:
+        flags = "01" if self.sampled else "00"
+        return f"{_WIRE_VERSION}-{self.trace_id}-{self.span_id}-{flags}"
+
+    @classmethod
+    def from_wire(cls, text: Any) -> Optional["TraceContext"]:
+        """Parse a stamped frame value; ``None`` on anything malformed.
+
+        Tolerant by design: an unparseable stamp degrades to an
+        untraced statement, never an error back to the client.
+        """
+        if not isinstance(text, str):
+            return None
+        parts = text.split("-")
+        if len(parts) != 4 or parts[0] != _WIRE_VERSION:
+            return None
+        trace_id, span_id, flags = parts[1], parts[2], parts[3]
+        if len(trace_id) != 32 or len(span_id) != 16:
+            return None
+        try:
+            int(trace_id, 16)
+            int(span_id, 16)
+        except ValueError:
+            return None
+        return cls(trace_id, span_id, None, flags == "01")
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceContext({self.trace_id[:8]}.., span={self.span_id}, "
+            f"parent={self.parent_id}, sampled={self.sampled})"
+        )
+
+
+class Span:
+    """One finished, named stage of a trace (JSON-exportable)."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "node",
+        "started_at",
+        "duration_ms",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        node: str = "",
+        started_at: float = 0.0,
+        duration_ms: float = 0.0,
+        attrs: Optional[Dict[str, Any]] = None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        #: Which node recorded this span ("" for plain client/server).
+        self.node = node
+        #: Wall-clock start (``time.time()``), for cross-node ordering.
+        self.started_at = started_at
+        self.duration_ms = duration_ms
+        self.attrs = attrs or {}
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "started_at": self.started_at,
+            "duration_ms": round(self.duration_ms, 3),
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name}, node={self.node!r}, "
+            f"{self.duration_ms:.2f} ms, trace={self.trace_id[:8]}..)"
+        )
+
+
+class SpanCollector:
+    """A bounded ring of finished spans with head-based sampling.
+
+    Recording appends under one lock (the ring is shared by session
+    threads, the writer thread and replication pumps); the ring evicts
+    oldest-first so a long-lived node never grows without bound.
+    ``sample()`` is rolled once per root trace by the client — every
+    downstream span inherits the decision through the context's
+    ``sampled`` flag.
+    """
+
+    def __init__(self, capacity: int = 4096, sample_rate: float = 1.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        self.sample_rate = sample_rate
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._random = random.Random()
+        self.recorded = 0
+        self.dropped_unsampled = 0
+
+    def sample(self) -> bool:
+        """Roll the head-based sampling decision for a new root trace."""
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            self.dropped_unsampled += 1
+            return False
+        if self._random.random() < self.sample_rate:
+            return True
+        self.dropped_unsampled += 1
+        return False
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            self.recorded += 1
+
+    def spans(
+        self, trace_id: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[Span]:
+        with self._lock:
+            out = list(self._spans)
+        if trace_id:
+            out = [s for s in out if s.trace_id == trace_id]
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def export(
+        self, trace_id: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """JSON-ready span dicts (oldest first)."""
+        return [s.as_dict() for s in self.spans(trace_id, limit)]
+
+    def export_json(self, trace_id: Optional[str] = None) -> str:
+        return json.dumps(self.export(trace_id), indent=2, sort_keys=True)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+# ---------------------------------------------------------------------------
+# ambient context (thread-local — same shape as tracer/budget stacks)
+# ---------------------------------------------------------------------------
+
+
+class _AmbientTrace(threading.local):
+    """Per-thread stack of active trace contexts + the node label."""
+
+    def __init__(self):
+        self.items: List[TraceContext] = []
+        self.node_label: str = ""
+
+
+_AMBIENT = _AmbientTrace()
+
+
+def _stack() -> List[TraceContext]:
+    """This thread's context stack (tests introspect it)."""
+    return _AMBIENT.items
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The context governing this thread's innermost statement (or None)."""
+    items = _AMBIENT.items
+    return items[-1] if items else None
+
+
+def deactivate(context: Optional[TraceContext]) -> None:
+    """Remove every occurrence of ``context`` from this thread's stack."""
+    if context is None:
+        return
+    items = _AMBIENT.items
+    for index in range(len(items) - 1, -1, -1):
+        if items[index] is context:
+            del items[index]
+
+
+class activate:
+    """Context manager installing a trace context as the ambient one.
+
+    Accepts ``None`` (no-op) so call sites need no conditional around
+    the ``with`` — an untraced statement just runs with nothing pushed.
+    """
+
+    __slots__ = ("context",)
+
+    def __init__(self, context: Optional[TraceContext]):
+        self.context = context
+
+    def __enter__(self) -> Optional[TraceContext]:
+        if self.context is not None:
+            _AMBIENT.items.append(self.context)
+        return self.context
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.context is None:
+            return False
+        items = _AMBIENT.items
+        for index in range(len(items) - 1, -1, -1):
+            if items[index] is self.context:
+                del items[index]
+                break
+        return False
+
+
+def current_node_label() -> str:
+    """The node name attributed to spans recorded on this thread."""
+    return _AMBIENT.node_label
+
+
+def set_node_label(label: Optional[str]) -> None:
+    """Install this thread's node label (cluster node name, or "")."""
+    _AMBIENT.node_label = label or ""
+
+
+class node_label:
+    """Context manager scoping a node label to a block (writer thread)."""
+
+    __slots__ = ("label", "_previous")
+
+    def __init__(self, label: Optional[str]):
+        self.label = label or ""
+        self._previous = ""
+
+    def __enter__(self) -> "node_label":
+        self._previous = _AMBIENT.node_label
+        _AMBIENT.node_label = self.label
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _AMBIENT.node_label = self._previous
+        return False
+
+
+# ---------------------------------------------------------------------------
+# recording helpers
+# ---------------------------------------------------------------------------
+
+
+def record_span(
+    name: str,
+    duration_ms: float,
+    context: Optional[TraceContext] = None,
+    node: Optional[str] = None,
+    started_at: Optional[float] = None,
+    own: bool = False,
+    **attrs: Any,
+) -> Optional[Span]:
+    """Record one finished span under ``context`` (default: ambient).
+
+    By default the span gets a fresh span_id and is parented to the
+    context's span_id — deep seams (queue wait, fsync, replica apply)
+    are leaves under whichever stage installed the ambient context.
+    With ``own=True`` the span *is* the context's span (span_id =
+    ``context.span_id``, parent = ``context.parent_id``) — the server
+    statement span uses this so leaves recorded under the same context
+    nest beneath it. Returns the recorded span, or ``None`` when
+    tracing is off, no context is active, or the trace is unsampled.
+    """
+    collector = _COLLECTOR if _ENABLED else None
+    if collector is None:
+        return None
+    if context is None:
+        context = current_trace()
+    if context is None or not context.sampled:
+        return None
+    if attrs:
+        attrs = {k: v for k, v in attrs.items() if v is not None}
+    span = Span(
+        context.trace_id,
+        context.span_id if own else new_span_id(),
+        context.parent_id if own else context.span_id,
+        name,
+        node if node is not None else _AMBIENT.node_label,
+        started_at
+        if started_at is not None
+        else time.time() - duration_ms / 1000.0,
+        duration_ms,
+        attrs,
+    )
+    collector.record(span)
+    return span
+
+
+class span:
+    """Context manager timing a block into one recorded span.
+
+    Resolves the ambient context at ``__enter__`` and records at
+    ``__exit__``; disabled tracing costs one ``is None`` check.
+    """
+
+    __slots__ = ("name", "context", "own", "attrs", "_started", "_wall")
+
+    def __init__(
+        self,
+        name: str,
+        context: Optional[TraceContext] = None,
+        own: bool = False,
+        **attrs: Any,
+    ):
+        self.name = name
+        self.context = context
+        self.own = own
+        self.attrs = attrs
+        self._started = 0.0
+        self._wall = 0.0
+
+    def __enter__(self) -> "span":
+        if self.context is None:
+            self.context = current_trace()
+        self._wall = time.time()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        context = self.context
+        if context is None or not context.sampled or not _ENABLED:
+            return False
+        # inlined record_span (no kwargs repacking): this runs once per
+        # statement on the client and session threads
+        elapsed_ms = (time.perf_counter() - self._started) * 1000.0
+        attrs = self.attrs
+        if exc_type is not None:
+            attrs.setdefault("error", exc_type.__name__)
+        if attrs:
+            attrs = {k: v for k, v in attrs.items() if v is not None}
+        _COLLECTOR.record(
+            Span(
+                context.trace_id,
+                context.span_id if self.own else new_span_id(),
+                context.parent_id if self.own else context.span_id,
+                self.name,
+                _AMBIENT.node_label,
+                self._wall,
+                elapsed_ms,
+                attrs,
+            )
+        )
+        return False
+
+
+# ---------------------------------------------------------------------------
+# the process-wide default collector
+# ---------------------------------------------------------------------------
+
+_COLLECTOR = SpanCollector()
+
+_ENABLED = os.environ.get("REPRO_TRACING", "1").strip().lower() not in (
+    "0",
+    "off",
+    "false",
+    "no",
+)
+
+
+def get_collector() -> SpanCollector:
+    """The process-wide collector (always available, even when disabled)."""
+    return _COLLECTOR
+
+
+def recording_collector() -> Optional[SpanCollector]:
+    """The default collector, or ``None`` when tracing is disabled."""
+    return _COLLECTOR if _ENABLED else None
+
+
+def set_tracing_enabled(enabled: bool) -> None:
+    """Toggle span recording at runtime (used by the overhead benchmark)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def tracing_enabled() -> bool:
+    return _ENABLED

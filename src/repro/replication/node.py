@@ -44,6 +44,9 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ProtocolError, ReplicationError
+from ..observability import events as events_module
+from ..observability.http import ObservabilityHttpServer
+from ..observability.metrics import recording_registry
 from ..server import protocol
 from ..server.server import Server
 from .primary import Primary
@@ -169,6 +172,7 @@ class ClusterNode:
         sync: str = "commit",
         probe_timeout: float = 0.5,
         max_queue: int = 64,
+        http_port: Optional[int] = None,
     ):
         if name not in peers:
             raise ReplicationError(f"node {name!r} is not in the peer map")
@@ -222,6 +226,10 @@ class ClusterNode:
         self._marker_path = os.path.join(
             self.data_dir, f"{self.name}.primary-epoch"
         )
+        #: Optional per-node HTTP observability endpoint (``--http-port``):
+        #: /metrics, /health, /events, /traces without a db connection.
+        self.http_port = http_port
+        self.http: Optional[ObservabilityHttpServer] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -245,6 +253,13 @@ class ClusterNode:
 
     def start(self) -> "ClusterNode":
         self.server.start()
+        if self.http_port is not None:
+            self.http = ObservabilityHttpServer(
+                host=self.spec.host,
+                port=self.http_port,
+                health_provider=self._http_health,
+                node_name=self.name,
+            ).start()
         winner = self._find_live_primary(self._poll_peers())
         if winner is not None:
             # the cluster already has a leader (we are a restarted or
@@ -274,8 +289,17 @@ class ClusterNode:
         in-flight clients see their sockets die mid-request."""
         self._shutdown(drain=False, timeout=2.0, final_sync=False)
 
+    def _http_health(self) -> Dict[str, Any]:
+        message = self.server._health_message()
+        message.pop("type", None)
+        message.pop("id", None)
+        return message
+
     def _shutdown(self, drain: bool, timeout: float, final_sync: bool) -> None:
         self._stop.set()
+        if self.http is not None:
+            self.http.stop()
+            self.http = None
         if self._pump_thread is not None:
             self._pump_thread.join(timeout=timeout)
             self._pump_thread = None
@@ -481,12 +505,53 @@ class ClusterNode:
                         self._last_primary_tick_seen = replica.last_primary_tick
                         self._last_primary_contact = time.monotonic()
                     self._replica_duties(replica)
+                # gauges refresh every tick, not only when a write moves
+                # the stream, so scraped lag stays live while idle
+                self._refresh_replication_gauges(primary, replica)
             except Exception:
                 # the pump must never die silently mid-cluster; one bad
                 # iteration (a racing teardown, a closing socket) is
                 # dropped and the next tick starts clean
                 if self._stop.is_set():
                     return
+
+    def _refresh_replication_gauges(self, primary, replica) -> None:
+        """Mirror replication progress into the metrics registry from
+        the pump loop (same names :class:`ReplicationManager` sets), so
+        ``/metrics`` shows live lag even between writes."""
+        registry = recording_registry()
+        if registry is None:
+            return
+        if primary is not None and self.role == "primary":
+            head = primary.log.last_sequence
+            registry.gauge(
+                "repro_replication_shipped_sequence",
+                help="The primary's command-log head (last shipped sequence).",
+            ).set(head)
+            for name, link in list(primary.links.items()):
+                registry.gauge(
+                    "repro_replication_acked_sequence",
+                    help="Highest acknowledged sequence, per replica.",
+                    replica=name,
+                ).set(link.acked_sequence)
+                registry.gauge(
+                    "repro_replication_lag",
+                    help="Statements shipped but not yet acknowledged, "
+                    "per replica.",
+                    replica=name,
+                ).set(max(0, head - link.acked_sequence))
+        elif replica is not None:
+            registry.gauge(
+                "repro_replication_acked_sequence",
+                help="Highest acknowledged sequence, per replica.",
+                replica=self.name,
+            ).set(replica.applied_sequence)
+            registry.gauge(
+                "repro_replication_lag",
+                help="Statements shipped but not yet acknowledged, "
+                "per replica.",
+                replica=self.name,
+            ).set(replica.lag)
 
     # -- primary-side duties -------------------------------------------
 
@@ -531,6 +596,13 @@ class ClusterNode:
         # of the configured cluster, or two halves of a partition could
         # each elect a primary
         if len(states) + 1 < len(self.peers) // 2 + 1:
+            events_module.emit(
+                "election_lost",
+                node=self.name,
+                reason="no quorum",
+                reachable=len(states) + 1,
+                needed=len(self.peers) // 2 + 1,
+            )
             return
         mine = (replica.applied_sequence, self.name)
         for state in states.values():
@@ -538,6 +610,12 @@ class ClusterNode:
                 continue
             theirs = (state.get("sequence") or 0, state["node"])
             if theirs > mine:
+                events_module.emit(
+                    "election_lost",
+                    node=self.name,
+                    reason="better candidate",
+                    candidate=state["node"],
+                )
                 return  # a better candidate exists; give it time
         top_epoch = max(
             [self.epoch] + [int(s.get("epoch") or 0) for s in states.values()]
@@ -583,6 +661,14 @@ class ClusterNode:
         self._accept_thread.start()
         self.transitions.append(
             (time.time(), "promote", new_epoch, self.name)
+        )
+        # election won, *then* the epoch bump it causes — ordered
+        # within the journal's lock-assigned sequence numbers
+        events_module.emit(
+            "election_won", node=self.name, epoch=new_epoch
+        )
+        events_module.emit(
+            "epoch_bump", node=self.name, epoch=new_epoch, role="primary"
         )
 
     def _accept_loop(self, listener: ReplicationListener) -> None:
@@ -631,6 +717,7 @@ class ClusterNode:
         with self._lock:
             self._primary_name = leader
             self._last_primary_contact = time.monotonic()
+        events_module.emit("leader_adopted", node=self.name, leader=leader)
         self._dial_primary(leader)
 
     def _demote(self, winner: Dict[str, Any]) -> None:
@@ -656,6 +743,18 @@ class ClusterNode:
                 pass
             self.transitions.append(
                 (time.time(), "demote", winner.get("epoch"), leader)
+            )
+            events_module.emit(
+                "fenced",
+                node=self.name,
+                winner=leader,
+                epoch=winner.get("epoch"),
+            )
+            events_module.emit(
+                "epoch_bump",
+                node=self.name,
+                epoch=winner.get("epoch"),
+                role="replica",
             )
         with self._ack_cond:
             self._ack_cond.notify_all()  # fail in-flight write barriers

@@ -30,6 +30,7 @@ from ..core.command_log import CommandLog, LogRecord, read_records
 from ..core.database import Database
 from ..core.snapshot import snapshot_to_dict
 from ..errors import FencedError, ReplicationError
+from ..observability import tracing as tracing_module
 from .digest import database_digest
 from .fault_injection import (
     FaultInjector,
@@ -182,7 +183,25 @@ class Primary:
 
     def _ship_record(self, record: LogRecord) -> None:
         self._crash(SITE_AFTER_LOG_BEFORE_SHIP)
+        # A freshly durable record is shipped from the writer thread,
+        # which still carries the originating statement's trace context
+        # — stamp it on the ship so the replica's apply span joins the
+        # trace (the CRC covers only the framed record, so the extra
+        # key is invisible to checksum verification), and record the
+        # ship itself as a point span. Retransmissions go through
+        # :meth:`_ship_message` directly and carry no trace.
+        trace = tracing_module.current_trace()
         message = self._ship_message(record)
+        if trace is not None and trace.sampled:
+            message.data["trace"] = trace.to_wire()
+            tracing_module.record_span(
+                "repl.ship",
+                0.0,
+                context=trace,
+                sequence=record.sequence,
+                epoch=record.epoch,
+                replicas=len(self.links),
+            )
         for link in self.links.values():
             link.outbound.send(message)
             link.last_ship_tick = self._tick

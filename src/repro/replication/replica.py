@@ -32,7 +32,11 @@ from __future__ import annotations
 
 import json
 import pathlib
+import time
 from typing import Any, Dict, Optional
+
+from ..observability import events as events_module
+from ..observability import tracing as tracing_module
 
 from ..core.command_log import (
     FramedLogWriter,
@@ -216,6 +220,7 @@ class Replica:
             self._apply(data)
 
     def _apply(self, data: Dict[str, Any]) -> None:
+        started = time.perf_counter()
         self._crash(SITE_BEFORE_APPLY)
         self.db.apply_replicated(data["sql"])
         self._crash(SITE_AFTER_APPLY_BEFORE_LOG)
@@ -223,6 +228,19 @@ class Replica:
         self.applied_sequence = data["sequence"]
         self.applied_epoch = data["record_epoch"]
         self.applied_count += 1
+        # A trace stamped on the ship joins the originating statement's
+        # trace here — the cross-process tail of the write's lifecycle.
+        # Retransmitted / recovered records carry no stamp and skip.
+        context = tracing_module.TraceContext.from_wire(data.get("trace"))
+        if context is not None:
+            tracing_module.record_span(
+                "repl.apply",
+                (time.perf_counter() - started) * 1000.0,
+                context=context,
+                node=self.name,
+                sequence=data["sequence"],
+                epoch=data["record_epoch"],
+            )
 
     def _check_digests(self) -> None:
         """Compare the primary's digests against our state — only at the
@@ -242,6 +260,13 @@ class Replica:
                     self.quarantines += 1
                     self._held.clear()
                     self._expected_digests.clear()
+                    events_module.emit(
+                        "quarantine",
+                        node=self.name,
+                        epoch=self.epoch,
+                        sequence=sequence,
+                        reason=str(self.divergence),
+                    )
                     return
 
     def _receive_bootstrap(self, document: Dict[str, Any]) -> None:

@@ -134,6 +134,7 @@ class HealthMonitor:
             listeners = list(self._listeners)
         self._record_gauge(to)
         self._count_transition(to)
+        self._emit_event(old, to, reason)
         for listener in listeners:
             listener(old, to, reason)
         return to
@@ -188,6 +189,17 @@ class HealthMonitor:
                 help="Health state transitions, by destination state.",
                 to=to,
             ).inc()
+
+    @staticmethod
+    def _emit_event(old: str, to: str, reason: str) -> None:
+        from ..observability import events as events_module
+        from ..observability import tracing as tracing_module
+
+        events_module.emit(
+            "health",
+            node=tracing_module.current_node_label(),
+            **{"from": old, "to": to, "reason": reason or None},
+        )
 
     def __repr__(self) -> str:
         with self._lock:

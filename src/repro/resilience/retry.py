@@ -158,8 +158,11 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self.total_successes += 1
         self.consecutive_failures = 0
+        reopened = self.state != "closed"
         self.state = "closed"
         self.opened_at = None
+        if reopened:
+            self._emit("breaker_close")
 
     def record_failure(self) -> None:
         self.total_failures += 1
@@ -170,9 +173,18 @@ class CircuitBreaker:
         ):
             if self.state != "open":
                 self.times_opened += 1
+                self._emit("breaker_open", failures=self.total_failures)
             self.state = "open"
             self.opened_at = self.clock()
             self.consecutive_failures = 0
+
+    def _emit(self, kind: str, **detail) -> None:
+        from ..observability import events as events_module
+        from ..observability import tracing as tracing_module
+
+        events_module.emit(
+            kind, node=tracing_module.current_node_label(), **detail
+        )
 
     def status(self) -> dict:
         return {

@@ -47,6 +47,7 @@ from ..core.command_log import CommandLog, enable_command_log
 from ..core.database import Database
 from ..core.snapshot import save_snapshot
 from ..errors import RecoveryError
+from ..observability import events as events_module
 from ..observability.metrics import recording_registry
 from .faults import (
     SITE_CHECKPOINT_TRUNCATE,
@@ -212,6 +213,9 @@ class Supervisor:
             health = self.database.health
             if health.last_error is None:
                 health.last_error = f"{type(error).__name__}: {error}"
+            events_module.emit(
+                "checkpoint", ok=False, error=f"{type(error).__name__}: {error}"
+            )
             return False
         self.checkpoints_taken += 1
         registry = recording_registry()
@@ -219,6 +223,9 @@ class Supervisor:
             registry.counter(
                 "repro_checkpoints_total", help="Checkpoints completed."
             ).inc()
+        events_module.emit(
+            "checkpoint", ok=True, sequence=self.log.last_sequence
+        )
         return True
 
     # ------------------------------------------------------------------
@@ -311,6 +318,9 @@ class Supervisor:
                 DEGRADED, "self-heal failed; disk still refusing writes",
                 error=error,
             )
+            events_module.emit(
+                "heal", ok=False, error=f"{type(error).__name__}: {error}"
+            )
             return False
         self.heal_breaker.record_success()
         self.heals_succeeded += 1
@@ -321,6 +331,7 @@ class Supervisor:
                 "repro_self_heals_total",
                 help="Successful DEGRADED -> HEALTHY self-heals.",
             ).inc()
+        events_module.emit("heal", ok=True)
         return True
 
     # ------------------------------------------------------------------

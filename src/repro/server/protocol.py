@@ -14,14 +14,15 @@ life cycle is::
     HELLO {protocol, auth?, session?} ->
                                       <- HELLO_OK {session, role, ...}
                                       <- ERROR {code: AUTH_FAILED} + close
-    QUERY {id, sql, budget?}          ->
+    QUERY {id, sql, budget?, trace?}  ->
                                       <- RESULT_HEAD {id, columns}
                                       <- ROWS {id, rows}          (0..n)
                                       <- RESULT_END {id, rowcount, ...}
                                       <- ERROR {id, code, message}
-    PREPARE {id, sql}                 ->
+    PREPARE {id, sql, trace?}         ->
                                       <- PREPARED {id, statement, params}
-    EXECUTE {id, statement, params}   ->
+    EXECUTE {id, statement, params,
+             trace?}                  ->
                                       <- result-set frames as above
     SET_BUDGET {budget|null}          ->
                                       <- OK
@@ -33,10 +34,26 @@ life cycle is::
                                       <- CLUSTER_STATE {node, role, epoch,
                                                         sequence, lag,
                                                         leader?, peers?}
+    TRACES {trace_id?, limit?}        ->
+                                      <- TRACES {node, spans}
+    EVENTS {kind?, limit?}            ->
+                                      <- EVENTS {node, events}
+    SLOWLOG                           ->
+                                      <- SLOWLOG {node, threshold_ms,
+                                                  entries}
     PING                              ->
                                       <- PONG
     CLOSE                             ->
                                       <- GOODBYE + close
+
+``trace`` is an optional W3C-traceparent-style stamp
+(``00-<trace_id>-<span_id>-<flags>``, see
+:mod:`repro.observability.tracing`); the server adopts it so the
+statement's server-side spans join the client's trace. ``TRACES``,
+``EVENTS`` and ``SLOWLOG`` read this node's span collector, event
+journal and slow-query log — the same documents the per-node HTTP
+endpoint serves at ``/traces``, ``/events`` and (for the slow-query
+log) the shell's ``\\slow show``.
 
 Result sets stream in bounded ``ROWS`` frames (``ROW_BATCH`` rows per
 frame) so a large ``PATHS`` enumeration never requires a monster frame.

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Callable, Optional
 
 from ..budget import CancellationToken
@@ -40,6 +41,7 @@ from ..errors import (
     ShuttingDownError,
 )
 from ..observability import context as observability_context
+from ..observability import tracing as observability_tracing
 from ..observability.metrics import recording_registry
 
 
@@ -107,7 +109,18 @@ class ReadWriteLock:
 class WriteTicket:
     """One queued write: the work, its owner, and the rendezvous."""
 
-    __slots__ = ("fn", "token", "session", "done", "result", "error", "started")
+    __slots__ = (
+        "fn",
+        "token",
+        "session",
+        "done",
+        "result",
+        "error",
+        "started",
+        "trace",
+        "node",
+        "submitted_at",
+    )
 
     def __init__(
         self,
@@ -122,6 +135,12 @@ class WriteTicket:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self.started = False
+        #: The submitting thread's ambient trace context + node label,
+        #: carried across to the writer thread exactly like ``session``
+        #: — so the executed write's spans join the statement's trace.
+        self.trace = observability_tracing.current_trace()
+        self.node = observability_tracing.current_node_label()
+        self.submitted_at = time.perf_counter()
 
 
 _STOP = object()
@@ -267,9 +286,20 @@ class SingleWriterScheduler:
                 ticket.done.set()
                 continue
             ticket.started = True
+            if ticket.trace is not None:
+                # queue wait: submit -> start, attributed to the trace
+                observability_tracing.record_span(
+                    "queue.wait",
+                    (time.perf_counter() - ticket.submitted_at) * 1000.0,
+                    context=ticket.trace,
+                    node=ticket.node,
+                    session=ticket.session,
+                )
             self._rwlock.acquire_write()
             try:
-                with observability_context.session_label(ticket.session):
+                with observability_context.session_label(ticket.session), \
+                        observability_tracing.node_label(ticket.node), \
+                        observability_tracing.activate(ticket.trace):
                     ticket.result = ticket.fn()
             except BaseException as error:  # delivered to the submitter
                 ticket.error = error

@@ -39,6 +39,8 @@ from ..errors import (
     ShuttingDownError,
 )
 from ..observability import context as observability_context
+from ..observability import events as observability_events
+from ..observability import tracing as observability_tracing
 from ..observability.metrics import get_registry, recording_registry
 from . import protocol
 from .protocol import ROW_BATCH, error_code_for
@@ -335,8 +337,12 @@ class Server:
 
     def _worker_loop(self, session: Session, lock: threading.Lock) -> None:
         # every statement this thread runs inline (the read path) is
-        # attributed to this session in the slow-query log
+        # attributed to this session in the slow-query log, and every
+        # span it records carries this node's name
         observability_context.set_session_label(session.name)
+        observability_tracing.set_node_label(
+            self.cluster.name if self.cluster is not None else ""
+        )
         try:
             while True:
                 request = session.inbox.get()
@@ -370,6 +376,35 @@ class Server:
             return self._send_safely(
                 session.sock, lock, self._cluster_state_message(request.get("id"))
             )
+        if kind == "TRACES":
+            return self._send_safely(session.sock, lock, {
+                "type": "TRACES",
+                "id": request.get("id"),
+                "node": self._node_name(),
+                "spans": observability_tracing.get_collector().export(
+                    trace_id=_wire_str(request.get("trace_id")),
+                    limit=_wire_int(request.get("limit")),
+                ),
+            })
+        if kind == "EVENTS":
+            return self._send_safely(session.sock, lock, {
+                "type": "EVENTS",
+                "id": request.get("id"),
+                "node": self._node_name(),
+                "events": observability_events.get_journal().export(
+                    kind=_wire_str(request.get("kind")),
+                    limit=_wire_int(request.get("limit")),
+                ),
+            })
+        if kind == "SLOWLOG":
+            slow = self.db.slow_queries
+            return self._send_safely(session.sock, lock, {
+                "type": "SLOWLOG",
+                "id": request.get("id"),
+                "node": self._node_name(),
+                "threshold_ms": slow.threshold_ms,
+                "entries": [entry.as_dict() for entry in slow.entries()],
+            })
         if kind == "PING":
             return self._send_safely(session.sock, lock, {"type": "PONG"})
         if kind == "CLOSE":
@@ -417,25 +452,49 @@ class Server:
             runner = lambda: self.db.execute(sql, token=token)  # noqa: E731
         if session.disconnected:
             raise ShuttingDownError("client disconnected")
-        if is_write and cluster is not None and not cluster.is_primary():
-            raise NotPrimaryError(
-                f"{cluster.name} is not the primary; "
-                "writes go to the current leader",
-                leader_hint=cluster.leader_hint(),
+        # Adopt the client's trace context: the statement's server-side
+        # spans (queue wait, execution, fsync, replication) all parent
+        # under this session span, which parents under the client span.
+        server_trace = None
+        if observability_tracing.recording_collector() is not None:
+            stamped = observability_tracing.TraceContext.from_wire(
+                request.get("trace")
             )
+            if stamped is not None and stamped.sampled:
+                server_trace = stamped.child()
         session.active_token = token
         session.statements += 1
         try:
-            if is_write:
-                result = self.scheduler.execute_write(
-                    runner, token=token, session=session.name
-                )
-                if cluster is not None:
-                    # semi-sync: the client's acknowledgement is held
-                    # until the cluster's ack quorum has the write
-                    cluster.after_write()
-                return result
-            return self.scheduler.run_read(runner)
+            with observability_tracing.activate(server_trace), \
+                    observability_tracing.span(
+                        "server.statement",
+                        context=server_trace,
+                        own=True,
+                        session=session.name,
+                        write=is_write,
+                    ):
+                if is_write and cluster is not None and not cluster.is_primary():
+                    observability_events.emit(
+                        "not_primary",
+                        node=cluster.name,
+                        session=session.name,
+                        leader=cluster.leader_hint(),
+                    )
+                    raise NotPrimaryError(
+                        f"{cluster.name} is not the primary; "
+                        "writes go to the current leader",
+                        leader_hint=cluster.leader_hint(),
+                    )
+                if is_write:
+                    result = self.scheduler.execute_write(
+                        runner, token=token, session=session.name
+                    )
+                    if cluster is not None:
+                        # semi-sync: the client's acknowledgement is held
+                        # until the cluster's ack quorum has the write
+                        cluster.after_write()
+                    return result
+                return self.scheduler.run_read(runner)
         finally:
             session.active_token = None
 
@@ -623,3 +682,16 @@ class Server:
 
     def _count_error(self, code: str) -> None:
         self._inc_counter("repro_server_errors_total", code=code)
+
+    def _node_name(self) -> Optional[str]:
+        return self.cluster.name if self.cluster is not None else None
+
+
+def _wire_str(value: Any) -> Optional[str]:
+    """An optional string filter from a request field (else None)."""
+    return value if isinstance(value, str) and value else None
+
+
+def _wire_int(value: Any) -> Optional[int]:
+    """An optional int limit from a request field (else None)."""
+    return value if isinstance(value, int) and not isinstance(value, bool) else None

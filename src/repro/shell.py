@@ -18,7 +18,17 @@ SELECT ...;`` runs like any other statement. Meta-commands start with
 ``\\metrics [FILTER]`` engine metrics (Prometheus text format), optionally
                       only names containing FILTER
 ``\\slow [MS|off]``    set the slow-query threshold, or (no argument) list
-                      the statements recorded over it
+                      the statements recorded over it; ``\\slow show``
+                      lists entries — the one form that also works over
+                      a remote connection (``SLOWLOG``), with session,
+                      node and trace_id attribution
+``\\traces [TRACE_ID]`` recorded distributed-trace spans, grouped by
+                      trace — optionally only one trace's spans (works
+                      locally and over a remote connection)
+``\\events [KIND]``    the structured event journal (elections, epoch
+                      bumps, health transitions, breaker trips...),
+                      optionally only events of KIND (works locally and
+                      over a remote connection)
 ``\\replica status``   one line per cluster node: role, epoch, applied
                       sequence, lag, acked/shipped positions, state
                       (needs an attached cluster)
@@ -195,7 +205,7 @@ class Shell:
         name = parts[0][1:].lower()
         argument = parts[1].strip() if len(parts) > 1 else ""
         if self.client is not None and name in (
-            "tables", "schema", "slow", "run", "replica", "promote",
+            "tables", "schema", "run", "replica", "promote",
         ):
             # these introspect server-side objects the protocol does not
             # expose; everything else works identically over the wire
@@ -225,6 +235,10 @@ class Shell:
             self._metrics(argument)
         elif name == "slow":
             self._slow(argument)
+        elif name == "traces":
+            self._traces(argument)
+        elif name == "events":
+            self._events(argument)
         elif name == "replica":
             self._replica_command(argument)
         elif name == "promote":
@@ -249,8 +263,33 @@ class Shell:
         self.write(text if text else "(no metrics recorded)")
 
     def _slow(self, argument: str) -> None:
-        """``\\slow [MS|off]`` — configure or list the slow-query log."""
-        if argument:
+        """``\\slow [MS|off|show]`` — configure or list the slow-query
+        log. Remotely only ``show`` is available (the threshold is the
+        server's knob); entries arrive over ``SLOWLOG`` carrying
+        session, node and trace_id attribution."""
+        if self.client is not None:
+            if argument and argument.lower() != "show":
+                self.write(
+                    "only \\slow show works over a remote connection "
+                    "(the threshold is configured on the server)"
+                )
+                return
+            try:
+                report = self.client.slow_queries()
+            except DatabaseError as error:
+                self.write(self._format_error(error))
+                return
+            if report.get("threshold_ms") is None:
+                self.write("slow-query log off (server threshold unset)")
+                return
+            entries = report.get("entries") or []
+            if not entries:
+                self.write("no slow queries recorded")
+                return
+            for entry in entries:
+                self._write_slow_entry(entry)
+            return
+        if argument and argument.lower() != "show":
             if argument.lower() in ("off", "none"):
                 self.db.set_slow_query_threshold(None)
                 self.write("slow-query log off")
@@ -260,23 +299,111 @@ class Shell:
                 if ms < 0:
                     raise ValueError
             except ValueError:
-                self.write("usage: \\slow MS|off")
+                self.write("usage: \\slow MS|off|show")
                 return
             self.db.set_slow_query_threshold(ms)
             self.write(f"slow-query threshold {ms:g} ms")
             return
-        entries = self.db.slow_queries.entries()
         if self.db.slow_queries.threshold_ms is None:
             self.write("slow-query log off (set with \\slow MS)")
             return
+        entries = self.db.slow_queries.entries()
         if not entries:
             self.write("no slow queries recorded")
             return
         for entry in entries:
-            head = entry.sql if len(entry.sql) <= 60 else entry.sql[:57] + "..."
+            self._write_slow_entry(entry.as_dict())
+
+    def _write_slow_entry(self, entry: dict) -> None:
+        """One slow-log line, identical for local and wire entries."""
+        sql = entry.get("sql", "")
+        head = sql if len(sql) <= 48 else sql[:45] + "..."
+        suffix = ""
+        if entry.get("session"):
+            suffix += f"  session={entry['session']}"
+        if entry.get("node"):
+            suffix += f"  node={entry['node']}"
+        if entry.get("trace_id"):
+            suffix += f"  trace={entry['trace_id'][:16]}"
+        self.write(
+            f"  {entry.get('elapsed_ms', 0.0):8.2f} ms  "
+            f"{entry.get('kind', ''):<10} "
+            f"rows={entry.get('rows', 0):<6} {head}{suffix}"
+        )
+
+    def _traces(self, argument: str) -> None:
+        """``\\traces [TRACE_ID]`` — recorded spans, grouped by trace.
+
+        Local mode reads the process collector; remote mode asks the
+        connected node over ``TRACES`` (each node answers with *its*
+        spans — stitch a cross-node trace by asking every node).
+        """
+        trace_id = argument.split()[0] if argument else None
+        if self.client is not None:
+            try:
+                spans = self.client.traces(trace_id=trace_id)
+            except DatabaseError as error:
+                self.write(self._format_error(error))
+                return
+        else:
+            from .observability import tracing as observability_tracing
+
+            spans = observability_tracing.get_collector().export(trace_id)
+        if not spans:
+            self.write("no spans recorded")
+            return
+        grouped: dict = {}
+        order: List[str] = []
+        for span in spans:
+            tid = span.get("trace_id", "?")
+            if tid not in grouped:
+                grouped[tid] = []
+                order.append(tid)
+            grouped[tid].append(span)
+        shown = order if trace_id else order[-10:]
+        if len(order) > len(shown):
             self.write(
-                f"  {entry.elapsed_ms:8.2f} ms  {entry.kind:<10} "
-                f"rows={entry.rows:<6} {head}"
+                f"({len(order)} traces recorded; showing the last "
+                f"{len(shown)} — filter with \\traces TRACE_ID)"
+            )
+        for tid in shown:
+            self.write(f"trace {tid}")
+            for span in sorted(
+                grouped[tid], key=lambda s: s.get("started_at", 0.0)
+            ):
+                node = span.get("node") or "-"
+                self.write(
+                    f"  {span.get('name', '?'):<18} node={node:<10} "
+                    f"{span.get('duration_ms', 0.0):9.3f} ms  "
+                    f"span={span.get('span_id')} "
+                    f"parent={span.get('parent_id') or '-'}"
+                )
+
+    def _events(self, argument: str) -> None:
+        """``\\events [KIND]`` — the structured event journal."""
+        kind = argument.split()[0] if argument else None
+        if self.client is not None:
+            try:
+                events = self.client.events(kind=kind)
+            except DatabaseError as error:
+                self.write(self._format_error(error))
+                return
+        else:
+            from .observability import events as observability_events
+
+            events = observability_events.get_journal().export(kind)
+        if not events:
+            self.write("no events recorded")
+            return
+        for event in events:
+            node = event.get("node") or "-"
+            detail = event.get("detail") or {}
+            rendered = " ".join(
+                f"{key}={value}" for key, value in sorted(detail.items())
+            )
+            self.write(
+                f"  #{event.get('seq'):<5} {event.get('kind', '?'):<16} "
+                f"node={node:<10} {rendered}"
             )
 
     def _set_timeout(self, argument: str) -> None:

@@ -18,6 +18,8 @@ import pytest
 from repro.client import Client
 from repro.client.client import _is_idempotent_sql, strip_leading_sql_comments
 from repro.errors import ClientConnectionError, RemoteError
+from repro.observability import events as observability_events
+from repro.observability import tracing as observability_tracing
 from repro.replication.digest import database_digest
 from repro.errors import ReplicationError
 from repro.replication.node import ClusterNode, PeerSpec, parse_peers
@@ -392,6 +394,8 @@ class TestClientRouting:
 
 class TestFailover:
     def test_kill_primary_promotes_most_caught_up_replica(self, cluster):
+        journal = observability_events.get_journal()
+        journal.clear()
         with cluster.client() as client:
             client.execute("CREATE TABLE t (a INTEGER PRIMARY KEY)")
             for i in range(5):
@@ -403,6 +407,106 @@ class TestFailover:
             # every acknowledged write survived the kill -9
             rows = promoted.db.execute("SELECT a FROM t ORDER BY a").rows
             assert rows == [(i,) for i in range(5)]
+        # the event journal recorded the election, in emission order:
+        # the winner's election_won strictly before its primary
+        # epoch_bump (both emitted under the node lock)
+        won = [
+            e for e in journal.events(kind="election_won")
+            if e.node == promoted.name
+        ]
+        assert won, journal.export()
+        bumps = [
+            e for e in journal.events(kind="epoch_bump")
+            if e.node == promoted.name
+            and e.detail.get("role") == "primary"
+            and e.detail.get("epoch") == promoted.epoch
+        ]
+        assert bumps, journal.export()
+        assert won[0].seq < bumps[0].seq
+        assert won[0].detail.get("epoch") == promoted.epoch
+
+    def test_failover_write_keeps_one_trace_across_nodes(self, cluster):
+        """After a failover, a write bounced off a non-primary node
+        with NOT_PRIMARY keeps ONE trace_id: the rejecting node's
+        statement span (error attr), the promoted primary's full
+        execution chain, and the replica's apply span all join the
+        trace the client minted before the first attempt."""
+        collector = observability_tracing.get_collector()
+        journal = observability_events.get_journal()
+        with cluster.client() as client:
+            client.execute("CREATE TABLE t (a INTEGER PRIMARY KEY)")
+        cluster.kill("n1")
+        promoted = cluster.wait_new_primary("n1")
+        survivor = next(
+            n for n in cluster.live() if n.name != promoted.name
+        )
+        assert wait_until(
+            lambda: survivor.role == "replica"
+            and survivor.replica is not None
+            and survivor.replica.lag == 0
+            and (survivor.leader_hint() or {}).get("node")
+            == promoted.name,
+            timeout=10.0,
+        )
+        spec = cluster.peers[survivor.name]
+        with Client(
+            spec.host, spec.client_port, timeout=5.0,
+            connect_timeout=1.0, follow_leader=False,
+        ) as client:
+            # settled on the replica (no handshake-time leader chase)
+            assert client.server_node == survivor.name
+            # chase hints from now on: the next write is rejected HERE
+            # with NOT_PRIMARY, then retried on the promoted node under
+            # the same pre-minted trace stamp
+            client.follow_leader = True
+            collector.clear()
+            journal.clear()
+            client.execute("INSERT INTO t VALUES (1)")
+            assert client.server_node == promoted.name
+
+        def insert_trace():
+            roots = [
+                s for s in collector.spans()
+                if s.name == "client.execute"
+                and "INSERT" in s.attrs.get("sql", "")
+            ]
+            if not roots:
+                return None
+            spans = collector.spans(trace_id=roots[0].trace_id)
+            if not any(s.name == "repl.apply" for s in spans):
+                return None  # replica apply is asynchronous; wait
+            return spans
+
+        assert wait_until(lambda: insert_trace() is not None, 10.0)
+        spans = insert_trace()
+        assert len({s.trace_id for s in spans}) == 1
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+        # the non-primary node recorded the redirected attempt...
+        rejected = [
+            s for s in by_name["server.statement"]
+            if s.node == survivor.name and s.attrs.get("error")
+        ]
+        assert rejected, [s.as_dict() for s in spans]
+        # ...and the redirect itself hit the event journal
+        redirects = journal.events(kind="not_primary", node=survivor.name)
+        assert redirects, journal.export()
+        # ...the promoted node executed the whole write chain...
+        executed = [
+            s for s in by_name["server.statement"]
+            if s.node == promoted.name and not s.attrs.get("error")
+        ]
+        assert executed, [s.as_dict() for s in spans]
+        for name in ("queue.wait", "db.execute", "log.fsync", "repl.ship"):
+            assert any(
+                s.node == promoted.name for s in by_name.get(name, [])
+            ), (name, [s.as_dict() for s in spans])
+        # ...and the shipped record's stamp joined the replica's apply
+        # span to the same trace
+        assert {s.node for s in by_name["repl.apply"]} == {survivor.name}
+        all_nodes = {s.node for s in spans if s.node}
+        assert all_nodes >= {survivor.name, promoted.name}
 
     def test_client_fails_over_and_writes_continue(self, cluster):
         with cluster.client() as client:
