@@ -22,6 +22,11 @@ Standalone::
 
 ``--strict`` exits nonzero if any request failed — the CI gate for
 "zero protocol errors under sustained concurrency".
+
+``--shards 1,2,4`` instead runs the same three workloads through the
+shard router (``repro.sharding``) at each shard count — the scaling
+curve for hash-partitioned deployments — and persists the rows to
+``benchmarks/results/BENCH_shards.json``.
 """
 
 from __future__ import annotations
@@ -178,6 +183,76 @@ def run_benchmark(clients=4, duration=2.0, workloads=None):
     return rows, all_errors
 
 
+def seed_sharded(client) -> None:
+    """The same dataset as :func:`seed_database`, loaded through a
+    router: KV and the graph sources hash-partitioned, the graph view
+    co-partitioned by source-vertex id."""
+    client.execute(
+        "CREATE TABLE KV (k INTEGER PRIMARY KEY, v INTEGER) PARTITION BY k"
+    )
+    for base in range(0, 1000, 250):
+        client.execute(
+            "INSERT INTO KV VALUES "
+            + ", ".join(f"({i}, {i * 7})" for i in range(base, base + 250))
+        )
+    client.execute(
+        "CREATE TABLE Users (uId INTEGER PRIMARY KEY) PARTITION BY uId"
+    )
+    client.execute(
+        "CREATE TABLE Rel (relId INTEGER PRIMARY KEY, "
+        "uId INTEGER, uId2 INTEGER) PARTITION BY uId"
+    )
+    client.execute(
+        "INSERT INTO Users VALUES "
+        + ", ".join(f"({i})" for i in range(GRAPH_VERTICES))
+    )
+    edges = [
+        f"({i}, {i}, {(i + 1) % GRAPH_VERTICES})"
+        for i in range(GRAPH_VERTICES)
+    ]
+    edges += [
+        f"({GRAPH_VERTICES + i}, {i}, {(i + 5) % GRAPH_VERTICES})"
+        for i in range(GRAPH_VERTICES)
+    ]
+    client.execute("INSERT INTO Rel VALUES " + ", ".join(edges))
+    client.execute(
+        "CREATE UNDIRECTED GRAPH VIEW G VERTEXES(ID = uId) FROM Users "
+        "EDGES(ID = relId, FROM = uId, TO = uId2) FROM Rel"
+    )
+
+
+def run_sharded_benchmark(shard_counts, clients=4, duration=2.0,
+                          workloads=None):
+    """The shard-scaling sweep: each shard count gets a fresh router +
+    shards deployment, seeded through the router, then the same three
+    closed-loop workloads."""
+    from repro.sharding import start_sharded, stop_sharded
+
+    workloads = workloads or ["point_read", "write", "paths_2hop"]
+    rows, all_errors = [], []
+    for count in shard_counts:
+        router, shards = start_sharded(count)
+        try:
+            with Client(*router.address, session="bench-seed") as seeder:
+                seed_sharded(seeder)
+            for workload in workloads:
+                latencies, errors = run_workload(
+                    router.address, workload, clients, duration
+                )
+                row = summarize(
+                    workload, clients, duration, latencies, errors
+                )
+                row["experiment"] = "shard_scaling"
+                row["system"] = "repro_router"
+                row["param"] = f"{workload}@{count}shard"
+                row["shards"] = count
+                rows.append(row)
+                all_errors.extend(errors)
+        finally:
+            stop_sharded(router, shards)
+    return rows, all_errors
+
+
 def format_rows(rows):
     header = (
         f"{'workload':<18} {'ops':>7} {'ops/s':>9} "
@@ -204,13 +279,28 @@ def main(argv=None) -> int:
                         help="seconds per workload")
     parser.add_argument("--strict", action="store_true",
                         help="exit nonzero if any request errored")
+    parser.add_argument("--shards", default=None, metavar="N1,N2,...",
+                        help="run the workloads through the shard router "
+                             "at each of these shard counts instead of "
+                             "against a single server")
     args = parser.parse_args(argv)
 
-    rows, errors = run_benchmark(clients=args.clients,
-                                 duration=args.duration)
+    if args.shards:
+        try:
+            counts = [int(n) for n in args.shards.split(",") if n]
+        except ValueError:
+            parser.error(f"--shards expects integers, got {args.shards!r}")
+        rows, errors = run_sharded_benchmark(
+            counts, clients=args.clients, duration=args.duration
+        )
+        out_name = "BENCH_shards.json"
+    else:
+        rows, errors = run_benchmark(clients=args.clients,
+                                     duration=args.duration)
+        out_name = "BENCH_server.json"
     print(format_rows(rows))
     RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_server.json"
+    out = RESULTS_DIR / out_name
     out.write_text(json.dumps(rows, indent=2) + "\n")
     print(f"\nwrote {out}")
     if errors:
@@ -235,6 +325,21 @@ def test_server_throughput_smoke():
         assert row["ops"] > 0, row
         assert row["mean_ms"] is not None and row["mean_ms"] > 0
         assert row["p99_ms"] >= row["p50_ms"]
+
+
+def test_shard_scaling_smoke():
+    """Pytest entry: the router sweep completes with zero errors at
+    1 and 2 shards and yields latency rows for every workload."""
+    rows, errors = run_sharded_benchmark([1, 2], clients=2, duration=0.4)
+    assert errors == []
+    assert {row["param"] for row in rows} == {
+        "point_read@1shard", "write@1shard", "paths_2hop@1shard",
+        "point_read@2shard", "write@2shard", "paths_2hop@2shard",
+    }
+    for row in rows:
+        assert row["ops"] > 0, row
+        assert row["shards"] in (1, 2)
+        assert row["mean_ms"] is not None and row["mean_ms"] > 0
 
 
 if __name__ == "__main__":

@@ -12,7 +12,14 @@
   node of an N-node high-availability cluster (TCP replication,
   heartbeat failover, ``NOT_PRIMARY`` redirects). ``--initial-primary``
   names the first boot's primary; restarted nodes rediscover the
-  current leader regardless.
+  current leader regardless;
+* ``--router HOST:PORT --shards H1:P1,H2:P2,...``: run the shard
+  router in front of already-running shard servers — clients connect
+  to it exactly as to a single server (``\\shards status`` in the
+  shell shows the map and routing counters);
+* ``--serve ... --shard-index I --shard-count N``: serve as shard I of
+  N — the server rejects misrouted single-partition statements with
+  ``SHARD_REDIRECT``.
 
 ``--http-port PORT`` (with ``--serve`` or ``--cluster``) additionally
 serves the read-only HTTP observability endpoint — ``/metrics``,
@@ -95,18 +102,56 @@ def main(argv: Optional[list] = None) -> None:
              "the client is acknowledged",
     )
     parser.add_argument(
+        "--router", metavar="HOST:PORT", type=_address, default=None,
+        help="run the shard router on this address (requires --shards)",
+    )
+    parser.add_argument(
+        "--shards", metavar="H1:P1,H2:P2,...", default=None,
+        help="with --router: the shard servers, in shard-index order",
+    )
+    parser.add_argument(
+        "--shard-auth", metavar="TOKEN", default=None,
+        help="with --router: token presented to the shard servers "
+             "(--auth still gates the router's own clients)",
+    )
+    parser.add_argument(
+        "--shard-index", metavar="I", type=int, default=None,
+        help="with --serve: this server's shard number (0-based)",
+    )
+    parser.add_argument(
+        "--shard-count", metavar="N", type=int, default=None,
+        help="with --serve: total number of shards",
+    )
+    parser.add_argument(
+        "--shard-slots", metavar="S", type=int, default=None,
+        help="with --shard-index: hash slots in the shard map "
+             "(default 64; must match the router)",
+    )
+    parser.add_argument(
         "--http-port", metavar="PORT", type=int, default=None,
         help="with --serve or --cluster: also serve the HTTP "
              "observability endpoint (/metrics, /health, /events, "
              "/traces) on this port (0 picks a free port)",
     )
     args = parser.parse_args(argv)
-    if sum(map(bool, (args.serve, args.connect, args.cluster))) > 1:
-        parser.error("--serve, --connect and --cluster are mutually exclusive")
+    modes = (args.serve, args.connect, args.cluster, args.router)
+    if sum(map(bool, modes)) > 1:
+        parser.error(
+            "--serve, --connect, --cluster and --router are "
+            "mutually exclusive"
+        )
+    if (args.shard_index is None) != (args.shard_count is None):
+        parser.error("--shard-index and --shard-count go together")
+    if args.shard_index is not None and not args.serve:
+        parser.error("--shard-index/--shard-count require --serve")
     if args.cluster:
         if not args.peers or not args.data_dir:
             parser.error("--cluster requires --peers and --data-dir")
         _cluster(args)
+    elif args.router:
+        if not args.shards:
+            parser.error("--router requires --shards")
+        _router(args)
     elif args.serve:
         _serve(args)
     elif args.connect:
@@ -142,14 +187,30 @@ def _serve(args) -> None:
         )
     else:
         db = Database()
+    shard_info = None
+    if args.shard_index is not None:
+        from .sharding.shard_map import DEFAULT_SLOTS
+
+        shard_info = {
+            "index": args.shard_index,
+            "count": args.shard_count,
+            "slots": args.shard_slots or DEFAULT_SLOTS,
+            "version": 1,
+        }
     server = Server(
-        db, host=host, port=port, auth_token=args.auth, supervisor=supervisor
+        db, host=host, port=port, auth_token=args.auth,
+        supervisor=supervisor, shard_info=shard_info,
     ).start()
     if supervisor is not None:
         supervisor.start_probes()
     bound_host, bound_port = server.address
     http = _start_http(args, bound_host, server)
     print(f"repro server listening on {bound_host}:{bound_port}")
+    if shard_info is not None:
+        print(
+            f"shard {shard_info['index']} of {shard_info['count']} "
+            f"({shard_info['slots']} slots)"
+        )
     if supervisor is not None:
         print(f"supervised data dir: {supervisor.data_dir}")
     try:
@@ -183,6 +244,33 @@ def _start_http(args, host: str, server):
     ).start()
     print(f"observability endpoint on {http.url()}")
     return http
+
+
+def _router(args) -> None:
+    from .sharding.router import Router
+
+    host, port = args.router
+    try:
+        shards = [_address(spec) for spec in args.shards.split(",") if spec]
+    except argparse.ArgumentTypeError as error:
+        raise SystemExit(f"error: --shards: {error}")
+    if not shards:
+        raise SystemExit("error: --shards names no shard servers")
+    router = Router(
+        shards, host=host, port=port,
+        auth_token=args.auth, shard_auth=args.shard_auth,
+    ).start()
+    bound_host, bound_port = router.address
+    print(f"repro router listening on {bound_host}:{bound_port}")
+    print(
+        f"routing to {len(shards)} shard(s): "
+        + ", ".join(f"{h}:{p}" for h, p in shards)
+    )
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining...")
+        router.shutdown(drain=True)
 
 
 def _cluster(args) -> None:

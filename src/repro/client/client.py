@@ -241,6 +241,7 @@ class Client:
             "overloaded_retries": 0,
             "overloaded_gave_up": 0,
             "leader_redirects": 0,
+            "shard_redirects": 0,
             "replica_reads": 0,
             "replica_fallbacks": 0,
         }
@@ -544,19 +545,27 @@ class Client:
     def _stamp_trace(
         self, message: Dict[str, Any]
     ) -> Optional[observability_tracing.TraceContext]:
-        """Mint a root trace context and stamp it on ``message``.
+        """Stamp a trace context on ``message``.
 
-        Stamping happens *before* the retry loops, so an OVERLOADED
-        backoff or a NOT_PRIMARY leader chase re-sends the same
-        ``trace`` value — the whole journey shares one trace_id.
-        Returns ``None`` (nothing stamped) when tracing is disabled.
+        Inside an active trace (a router fanning a client's statement
+        out to its shards) the stamp is a *child* of the ambient
+        context, so every hop of the fan-out shares the original
+        trace_id; otherwise a fresh root is minted. Stamping happens
+        *before* the retry loops, so an OVERLOADED backoff or a
+        NOT_PRIMARY leader chase re-sends the same ``trace`` value —
+        the whole journey shares one trace_id. Returns ``None``
+        (nothing stamped) when tracing is disabled.
         """
         collector = observability_tracing.recording_collector()
         if collector is None:
             return None
-        context = observability_tracing.TraceContext.new(
-            sampled=collector.sample()
-        )
+        ambient = observability_tracing.current_trace()
+        if ambient is not None and ambient.sampled:
+            context = ambient.child()
+        else:
+            context = observability_tracing.TraceContext.new(
+                sampled=collector.sample()
+            )
         if context.sampled:
             message["trace"] = context.to_wire()
         return context if context.sampled else None
@@ -627,6 +636,18 @@ class Client:
         entries}``, each entry carrying sql, elapsed_ms, session,
         trace_id and node attribution."""
         reply = self._request({"type": "SLOWLOG"}, retry=self.reconnect)
+        return {
+            key: value
+            for key, value in reply.items()
+            if key not in ("type", "id")
+        }
+
+    def shard_state(self) -> Dict[str, Any]:
+        """The endpoint's SHARD_STATE report. A router answers
+        ``{"sharded": True, "map": ..., "shards": [...], "routing":
+        {...}}``; a plain server answers ``{"sharded": False, "shard":
+        identity-or-None}``, so probes need no special case."""
+        reply = self._request({"type": "SHARD_STATE"}, retry=self.reconnect)
         return {
             key: value
             for key, value in reply.items()
@@ -791,6 +812,19 @@ class Client:
                         # back off and rediscover through the seeds
                         policy.sleep(policy.delay(attempt))
                     continue
+                if error.code == "SHARD_REDIRECT" and self.reconnect:
+                    # rejected before execution by a shard that does not
+                    # own the key: safe to retry (even writes), and the
+                    # redial re-reads HELLO/seeds, so a router in front
+                    # of the shards picks the statement up correctly
+                    if give_up:
+                        raise
+                    with self._lock:
+                        self._drop_connection()
+                    self.stats["shard_redirects"] += 1
+                    self._count("repro_client_shard_redirects_total")
+                    policy.sleep(policy.delay(attempt))
+                    continue
                 if error.code != "OVERLOADED":
                     raise
                 if give_up:
@@ -870,6 +904,7 @@ class Client:
                     frame.get("code", "INTERNAL_ERROR"),
                     frame.get("message", "server error"),
                     leader_hint=frame.get("leader_hint"),
+                    shard_hint=frame.get("shard_hint"),
                 )
             frames.append(frame)
             if until is None or frame.get("type") == until:

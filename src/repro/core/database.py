@@ -699,7 +699,13 @@ class Database:
             )
             for definition in statement.columns
         ]
-        table = self.catalog.create_table(statement.name, TableSchema(columns))
+        schema = TableSchema(columns)
+        if statement.partition_by is not None:
+            # validate now so a sharded CREATE fails identically on the
+            # router, the coordinator, and every shard
+            schema.position_of(statement.partition_by)
+        table = self.catalog.create_table(statement.name, schema)
+        table.partition_by = statement.partition_by
         table.add_listener(self._undo_listener)
         return ResultSet()
 

@@ -8,6 +8,8 @@ transactions, and graph views.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class DatabaseError(Exception):
     """Base class for all errors raised by the repro engine."""
@@ -172,6 +174,62 @@ class DegradedError(ExecutionError):
     """
 
 
+class ShardError(DatabaseError):
+    """Base class for sharding/router problems (:mod:`repro.sharding`)."""
+
+
+class ShardRedirectError(ShardError):
+    """Raised when a statement reaches a shard that does not own its
+    partition key (the sender's :class:`~repro.sharding.ShardMap` is
+    stale).
+
+    Like :class:`NotPrimaryError`, the statement is **rejected before
+    execution**, so retrying — even a write — through a refreshed route
+    is always safe. ``shard_hint`` carries ``{"shard", "count",
+    "version"}``: the authoritative owner's index and the responder's
+    map generation. Wire code: ``SHARD_REDIRECT``.
+    """
+
+    def __init__(self, message: str, shard_hint=None):
+        self.shard_hint = shard_hint
+        super().__init__(message)
+
+
+class CrossShardAbortError(ShardError):
+    """Raised when a multi-partition write failed on some shard and the
+    router rolled the whole statement back everywhere (coordinator
+    prepare undone, applied shards compensated). All-or-nothing held:
+    no shard retains any effect. Wire code: ``CROSS_SHARD_ABORT``.
+    """
+
+
+class CrossShardPartialError(ShardError):
+    """Raised when a multi-partition write applied on some shards but a
+    failed shard could not be compensated (it died mid-statement).
+
+    The router's coordinator state is authoritative; the failed shard
+    must be re-seeded before rejoining. This is the one router error
+    that is **not** safe to retry blindly. Wire code:
+    ``CROSS_SHARD_PARTIAL``.
+    """
+
+    def __init__(self, message: str, failed_shards=None):
+        self.failed_shards = list(failed_shards or [])
+        super().__init__(message)
+
+
+class ShardUnavailableError(ShardError):
+    """Raised when a routed statement needs a shard that cannot be
+    reached (dead process, partition). The statement observed no
+    partial results — scatter-gather reads discard every other shard's
+    rows before surfacing this. Wire code: ``SHARD_UNAVAILABLE``.
+    """
+
+    def __init__(self, message: str, shard: Optional[int] = None):
+        self.shard = shard
+        super().__init__(message)
+
+
 class OverloadedError(DatabaseError):
     """Raised by the server's admission control when the single-writer
     queue is full.
@@ -204,12 +262,17 @@ class RemoteError(DatabaseError):
     ``"BUDGET_EXCEEDED"``, ...) so callers dispatch on the code rather
     than on message text. For ``NOT_PRIMARY`` errors, ``leader_hint``
     carries the ERROR frame's redirect target (``{"node", "host",
-    "port"}`` or ``None``) so a cluster-aware caller can follow it.
+    "port"}`` or ``None``) so a cluster-aware caller can follow it; for
+    ``SHARD_REDIRECT`` errors, ``shard_hint`` carries the owning shard
+    (``{"shard", "count", "version"}`` or ``None``).
     """
 
-    def __init__(self, code: str, message: str, leader_hint=None):
+    def __init__(
+        self, code: str, message: str, leader_hint=None, shard_hint=None
+    ):
         self.code = code
         self.leader_hint = leader_hint
+        self.shard_hint = shard_hint
         super().__init__(f"[{code}] {message}")
 
 

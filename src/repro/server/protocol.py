@@ -34,6 +34,8 @@ life cycle is::
                                       <- CLUSTER_STATE {node, role, epoch,
                                                         sequence, lag,
                                                         leader?, peers?}
+    SHARD_STATE                       ->
+                                      <- SHARD_STATE {sharded, ...}
     TRACES {trace_id?, limit?}        ->
                                       <- TRACES {node, spans}
     EVENTS {kind?, limit?}            ->
@@ -54,6 +56,13 @@ statement's server-side spans join the client's trace. ``TRACES``,
 journal and slow-query log — the same documents the per-node HTTP
 endpoint serves at ``/traces``, ``/events`` and (for the slow-query
 log) the shell's ``\\slow show``.
+
+``SHARD_STATE`` is answered by *every* server, so probes need no
+special case: a plain server replies ``{sharded: false}`` (plus its
+shard identity when it was started as one shard of a sharded
+deployment); a :class:`~repro.sharding.router.Router` replies
+``{sharded: true}`` with the shard map, per-table partition columns,
+per-shard health, and the router's routing counters.
 
 Result sets stream in bounded ``ROWS`` frames (``ROW_BATCH`` rows per
 frame) so a large ``PATHS`` enumeration never requires a monster frame.
@@ -89,6 +98,10 @@ from ..errors import (
     ReadOnlyError,
     ReplicationError,
     ResourceExhaustedError,
+    ShardRedirectError,
+    ShardUnavailableError,
+    CrossShardAbortError,
+    CrossShardPartialError,
     ShuttingDownError,
     SqlSyntaxError,
     TransactionError,
@@ -127,6 +140,10 @@ _ERROR_CODE_TABLE: Tuple[Tuple[type, str], ...] = (
     (CatalogError, "CATALOG_ERROR"),
     (PlanningError, "PLANNING_ERROR"),
     (TransactionError, "TRANSACTION_ERROR"),
+    (ShardRedirectError, "SHARD_REDIRECT"),
+    (ShardUnavailableError, "SHARD_UNAVAILABLE"),
+    (CrossShardAbortError, "CROSS_SHARD_ABORT"),
+    (CrossShardPartialError, "CROSS_SHARD_PARTIAL"),
     (OverloadedError, "OVERLOADED"),
     (ShuttingDownError, "SHUTTING_DOWN"),
     (ProtocolError, "PROTOCOL_ERROR"),
@@ -163,6 +180,15 @@ ERROR_CODES: Dict[str, str] = {
     "ERROR frame's leader_hint (the statement was never executed, so the "
     "redirected retry is safe)",
     "FENCED": "node was deposed by a failover; writes go to the new primary",
+    "SHARD_REDIRECT": "statement sent to a shard that does not own its "
+    "partition key (stale shard map); rejected before execution, so the "
+    "rerouted retry is safe even for writes",
+    "SHARD_UNAVAILABLE": "a shard this statement needs cannot be reached; "
+    "no partial results were returned",
+    "CROSS_SHARD_ABORT": "a multi-partition write failed and was rolled "
+    "back everywhere; no shard retains any effect",
+    "CROSS_SHARD_PARTIAL": "a multi-partition write applied on some shards "
+    "but a failed shard could not be compensated; do not retry blindly",
     "DIVERGED": "replica quarantined itself after a digest mismatch",
     "REPLICATION_ERROR": "replication protocol or topology problem",
     "EXECUTION_ERROR": "runtime failure while executing the statement",

@@ -101,6 +101,7 @@ class Server:
         backlog: int = 32,
         supervisor=None,
         cluster=None,
+        shard_info=None,
     ):
         self.db = db
         self.host = host
@@ -120,6 +121,13 @@ class Server:
         #: acknowledged only after the cluster's semi-sync barrier,
         #: and ``CLUSTER_STATE`` / ``HEALTH`` expose replication state.
         self.cluster = cluster
+        #: Optional shard identity (``{"index", "count", "slots",
+        #: "version"}``). When set, this server is one shard of a
+        #: partitioned deployment: single-partition statements whose
+        #: bound key hashes to a *different* shard are rejected with
+        #: ``SHARD_REDIRECT`` before execution (see
+        #: :func:`~repro.sharding.shard_map.check_shard_ownership`).
+        self.shard_info = shard_info
         self.sessions: Dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
         self._listener: Optional[socket.socket] = None
@@ -340,9 +348,7 @@ class Server:
         # attributed to this session in the slow-query log, and every
         # span it records carries this node's name
         observability_context.set_session_label(session.name)
-        observability_tracing.set_node_label(
-            self.cluster.name if self.cluster is not None else ""
-        )
+        observability_tracing.set_node_label(self._node_name() or "")
         try:
             while True:
                 request = session.inbox.get()
@@ -405,6 +411,15 @@ class Server:
                 "threshold_ms": slow.threshold_ms,
                 "entries": [entry.as_dict() for entry in slow.entries()],
             })
+        if kind == "SHARD_STATE":
+            # a plain server is not a router: it answers with its own
+            # shard identity (or none), so probes need no special case
+            return self._send_safely(session.sock, lock, {
+                "type": "SHARD_STATE",
+                "id": request.get("id"),
+                "sharded": False,
+                "shard": self.shard_info,
+            })
         if kind == "PING":
             return self._send_safely(session.sock, lock, {"type": "PONG"})
         if kind == "CLOSE":
@@ -447,6 +462,8 @@ class Server:
             if not isinstance(sql, str):
                 raise ProtocolError("QUERY requires a string 'sql' field")
             is_write = sql_is_write(sql)
+            if self.shard_info is not None:
+                self._check_shard_ownership(sql)
             # the (possibly command-log-patched) bound method, so server
             # writes are logged and shipped exactly like embedded ones
             runner = lambda: self.db.execute(sql, token=token)  # noqa: E731
@@ -498,6 +515,20 @@ class Server:
         finally:
             session.active_token = None
 
+    def _check_shard_ownership(self, sql: str) -> None:
+        """Reject a statement whose bound partition key belongs to a
+        sibling shard — before execution, so retrying elsewhere is safe
+        even for writes (same contract as NOT_PRIMARY)."""
+        # local import: repro.sharding imports this module (the router
+        # subclasses Server)
+        from ..sharding.shard_map import check_shard_ownership
+        from ..sql.parser import parse_statement
+        try:
+            statement = parse_statement(sql)
+        except DatabaseError:
+            return  # execution will report the parse error itself
+        check_shard_ownership(self.db, self.shard_info, statement)
+
     def _prepared_runner(self, session: Session, request, token):
         handle = request.get("statement")
         prepared = session.prepared.get(handle)
@@ -546,6 +577,9 @@ class Server:
         hint = getattr(error, "leader_hint", None)
         if hint is not None:
             frame["leader_hint"] = hint
+        shard_hint = getattr(error, "shard_hint", None)
+        if shard_hint is not None:
+            frame["shard_hint"] = shard_hint
         return self._send_safely(session.sock, lock, frame)
 
     def _health_message(self, request_id=None) -> Dict[str, Any]:

@@ -1,0 +1,34 @@
+"""Horizontal sharding: hash-partitioned shards behind a query router.
+
+The paper's engine is built on VoltDB, whose scale-out story is hash
+partitioning with single-threaded execution per partition — exactly the
+shape each node already has (the single-writer scheduler). This package
+adds the missing tier between one HA cluster and a horizontally
+scalable service:
+
+* :class:`ShardMap` — the explicit hash-slot table: which shard owns a
+  partition key, which column partitions each table, and the
+  co-partitioning rules that keep a graph view's vertexes and edges
+  addressable by the same key;
+* :class:`Router` — a process speaking the wire protocol on both sides:
+  clients connect to it exactly as to a server, and it fans statements
+  out to the shard servers behind it (single-shard fast path,
+  scatter-gather with router-side merge, coordinator execution for
+  multi-shard graph traversals and joins);
+* :func:`start_local_shards` / :func:`start_sharded` — in-process
+  bootstrap helpers used by tests, benchmarks, and ``repro --router``.
+"""
+
+from .shard_map import (  # noqa: F401
+    DEFAULT_SLOTS,
+    ShardMap,
+    bound_partition_keys,
+    check_shard_ownership,
+    stable_hash,
+)
+from .router import Router  # noqa: F401
+from .bootstrap import (  # noqa: F401
+    start_local_shards,
+    start_sharded,
+    stop_sharded,
+)

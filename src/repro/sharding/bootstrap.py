@@ -1,0 +1,88 @@
+"""In-process bootstrap for a sharded deployment.
+
+Tests, benchmarks, and ``repro --router`` all need the same thing: N
+shard servers plus a router in front of them, wired together and torn
+down cleanly. ``start_local_shards`` starts the shards (each a plain
+:class:`~repro.server.server.Server` over its own empty database, with
+the shard-ownership guard armed), ``start_sharded`` adds the router.
+
+Everything binds ephemeral loopback ports; read the real addresses
+from the returned objects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.database import Database
+from ..server.server import Server
+from .router import Router
+from .shard_map import DEFAULT_SLOTS
+
+
+def start_local_shards(
+    count: int,
+    auth_token: Optional[str] = None,
+    slots: int = DEFAULT_SLOTS,
+    guard: bool = True,
+) -> List[Server]:
+    """Start ``count`` shard servers on ephemeral loopback ports.
+
+    With ``guard=True`` (the default) each server knows its shard
+    identity and answers ``SHARD_REDIRECT`` to any single-partition
+    statement whose key hashes to a sibling — the defense against a
+    stale shard map or a client that dialed a shard directly.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    shards: List[Server] = []
+    for index in range(count):
+        shard_info = None
+        if guard:
+            shard_info = {
+                "index": index,
+                "count": count,
+                "slots": slots,
+                "version": 1,
+            }
+        server = Server(
+            Database(), port=0, auth_token=auth_token,
+            shard_info=shard_info,
+        )
+        server.start()
+        shards.append(server)
+    return shards
+
+
+def start_sharded(
+    count: int,
+    auth_token: Optional[str] = None,
+    router_auth: Optional[str] = None,
+    slots: int = DEFAULT_SLOTS,
+    guard: bool = True,
+) -> Tuple[Router, List[Server]]:
+    """Start ``count`` shards plus a router; returns ``(router,
+    shards)``. Shut the router down first, then the shards."""
+    shards = start_local_shards(
+        count, auth_token=auth_token, slots=slots, guard=guard,
+    )
+    router = Router(
+        [shard.address for shard in shards],
+        auth_token=router_auth,
+        shard_auth=auth_token,
+    )
+    router.shard_map.slots = slots
+    if slots != DEFAULT_SLOTS:
+        router.shard_map.slot_table = [
+            slot % count for slot in range(slots)
+        ]
+    router.start()
+    return router, shards
+
+
+def stop_sharded(router: Router, shards: List[Server]) -> None:
+    """Tear a :func:`start_sharded` deployment down (router first, so
+    in-flight fan-outs drain before the shards close)."""
+    router.shutdown(drain=False, timeout=5.0)
+    for shard in shards:
+        shard.shutdown(drain=False, timeout=5.0)

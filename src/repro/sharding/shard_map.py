@@ -1,0 +1,387 @@
+"""The shard map: hash slots, partition columns, co-partitioning rules.
+
+Partitioning model (VoltDB's, which the paper's engine inherits):
+
+* a table declared ``PARTITION BY col`` is **partitioned** — each row
+  lives on exactly one shard, chosen by hashing the row's value in that
+  column through an explicit slot table (``slot = hash(key) % SLOTS``,
+  ``shard = slot_table[slot]``);
+* a table without the clause is **broadcast** — every shard holds a
+  full copy, so any shard can join against it locally;
+* a graph view over partitioned sources must be **co-partitioned by
+  source-vertex id**: the vertex table partitioned on the column mapped
+  to the vertex ``ID`` attribute, and the edge table partitioned on the
+  column mapped to the edge ``FROM`` attribute. Every edge then hashes
+  with its source vertex, so single-source expansion stays addressable
+  by one key. (Shard-local subgraphs are still not closed under
+  traversal — an edge's *target* may live elsewhere — which is why the
+  router executes multi-shard PATHS at its coordinator.)
+
+The hash must be stable across processes and Python runs (``hash()`` is
+salted per process), so keys hash through CRC-32 of a canonical
+encoding. Partition keys are restricted to integers and strings — the
+two types the paper's workloads key vertexes by.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import CatalogError, PlanningError, ShardRedirectError
+from ..planner.conjuncts import extract_column_equality, split_conjuncts
+from ..sql import ast
+
+#: Number of hash slots in the explicit slot table. A level of
+#: indirection between keys and shards: rebalancing moves slots, not
+#: re-hashes keys (this PR never moves them, but the wire format and
+#: the map carry the table so a future rebalancer does not need a new
+#: protocol).
+DEFAULT_SLOTS = 64
+
+
+def stable_hash(value: Any) -> int:
+    """A process-stable hash for a partition key (int or str)."""
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise PlanningError(
+            f"partition key must be an integer or a string, got "
+            f"{type(value).__name__}"
+        )
+    if isinstance(value, int):
+        encoded = b"i:" + str(value).encode("ascii")
+    else:
+        encoded = b"s:" + value.encode("utf-8")
+    return zlib.crc32(encoded)
+
+
+class ShardMap:
+    """Which shard owns what: slot table + per-table partition columns.
+
+    The map is versioned; every router→shard frame may carry the
+    version, and a shard that knows a *newer* layout answers
+    ``SHARD_REDIRECT`` so a stale router (or a directly-connected
+    client) reroutes instead of misplacing rows.
+    """
+
+    def __init__(self, shard_count: int, slots: int = DEFAULT_SLOTS):
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        self.shard_count = shard_count
+        self.slots = slots
+        #: slot -> shard index (round-robin initial layout).
+        self.slot_table: List[int] = [
+            slot % shard_count for slot in range(slots)
+        ]
+        self.version = 1
+        #: lower-cased table name -> partition column (None = broadcast).
+        self._tables: Dict[str, Optional[str]] = {}
+        #: lower-cased graph view name -> (vertex_source, edge_source).
+        self._graph_views: Dict[str, Tuple[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # key -> shard
+    # ------------------------------------------------------------------
+
+    def slot_for_key(self, key: Any) -> int:
+        return stable_hash(key) % self.slots
+
+    def shard_for_key(self, key: Any) -> int:
+        return self.slot_table[self.slot_for_key(key)]
+
+    # ------------------------------------------------------------------
+    # catalog bookkeeping
+    # ------------------------------------------------------------------
+
+    def register_table(self, statement: ast.CreateTable) -> None:
+        """Record a CREATE TABLE's partition declaration (validating
+        that the partition column exists is the engine's job)."""
+        self._tables[statement.name.lower()] = statement.partition_by
+
+    def drop_table(self, name: str) -> None:
+        self._tables.pop(name.lower(), None)
+
+    def drop_graph_view(self, name: str) -> None:
+        self._graph_views.pop(name.lower(), None)
+
+    def knows_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def partition_column(self, table: str) -> Optional[str]:
+        return self._tables.get(table.lower())
+
+    def is_partitioned(self, table: str) -> bool:
+        return self._tables.get(table.lower()) is not None
+
+    def register_graph_view(self, statement: ast.CreateGraphView) -> None:
+        """Validate co-partitioning and record the view.
+
+        Legal shapes:
+
+        * both sources broadcast — the view is replicated everywhere;
+        * vertex source partitioned on the column mapped to the vertex
+          ``ID`` and edge source partitioned on the column mapped to
+          the edge ``FROM`` (partition-by-source-vertex).
+
+        Anything else would scatter a vertex and its out-edges across
+        shards with unrelated keys, so it is rejected at CREATE.
+        """
+        vertex_part = self.partition_column(statement.vertex_source)
+        edge_part = self.partition_column(statement.edge_source)
+        if vertex_part is None and edge_part is None:
+            self._graph_views[statement.name.lower()] = (
+                statement.vertex_source, statement.edge_source,
+            )
+            return
+        vertex_id = _mapped_column(statement.vertex_mappings, "ID")
+        edge_from = _mapped_column(statement.edge_mappings, "FROM")
+        if vertex_part is None or edge_part is None:
+            raise CatalogError(
+                f"graph view {statement.name}: sources must be "
+                f"co-partitioned (or both broadcast); "
+                f"{statement.vertex_source} is "
+                f"{'partitioned' if vertex_part else 'broadcast'} but "
+                f"{statement.edge_source} is "
+                f"{'partitioned' if edge_part else 'broadcast'}"
+            )
+        if vertex_id is None or vertex_part.lower() != vertex_id.lower():
+            raise CatalogError(
+                f"graph view {statement.name}: vertex source "
+                f"{statement.vertex_source} must be partitioned by its "
+                f"vertex ID column {vertex_id!r}, not {vertex_part!r}"
+            )
+        if edge_from is None or edge_part.lower() != edge_from.lower():
+            raise CatalogError(
+                f"graph view {statement.name}: edge source "
+                f"{statement.edge_source} must be partitioned by its "
+                f"FROM column {edge_from!r} (the source-vertex id), "
+                f"not {edge_part!r}"
+            )
+        self._graph_views[statement.name.lower()] = (
+            statement.vertex_source, statement.edge_source,
+        )
+
+    def graph_view_is_broadcast(self, name: str) -> bool:
+        sources = self._graph_views.get(name.lower())
+        if sources is None:
+            return False
+        return not self.is_partitioned(sources[0]) and not self.is_partitioned(
+            sources[1]
+        )
+
+    # ------------------------------------------------------------------
+    # wire / introspection
+    # ------------------------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "shard_count": self.shard_count,
+            "slots": self.slots,
+            "slot_table": list(self.slot_table),
+            "tables": {
+                name: {
+                    "partition_by": column,
+                    "broadcast": column is None,
+                }
+                for name, column in sorted(self._tables.items())
+            },
+            "graph_views": {
+                name: {
+                    "vertex_source": sources[0],
+                    "edge_source": sources[1],
+                    "broadcast": self.graph_view_is_broadcast(name),
+                }
+                for name, sources in sorted(self._graph_views.items())
+            },
+        }
+
+
+def _mapped_column(
+    mappings: List[Tuple[str, str]], attribute: str
+) -> Optional[str]:
+    for name, column in mappings:
+        if name.upper() == attribute:
+            return column
+    return None
+
+
+# ---------------------------------------------------------------------------
+# partition-key extraction (shared by the router and the shard guard)
+# ---------------------------------------------------------------------------
+
+
+def _literal_value(expression: ast.Expression) -> Tuple[bool, Any]:
+    """``(bound, value)`` for the non-column side of an equality: a
+    literal, or a prepared-statement parameter that has a value bound
+    right now (the router routes at EXECUTE time, after binding)."""
+    if isinstance(expression, ast.Literal):
+        return True, expression.value
+    if isinstance(expression, ast.Parameter):
+        return expression.value is not None, expression.value
+    if isinstance(expression, ast.UnaryOp) and expression.op == "-":
+        bound, value = _literal_value(expression.operand)
+        if bound and isinstance(value, (int, float)):
+            return True, -value
+        return False, None
+    return False, None
+
+
+def _single_table_target(
+    statement: ast.Statement,
+) -> Optional[Tuple[str, str, Optional[ast.Expression]]]:
+    """``(table, alias, where)`` when the statement targets exactly one
+    plain table; None otherwise."""
+    if isinstance(statement, ast.Select):
+        if len(statement.from_items) != 1:
+            return None
+        item = statement.from_items[0]
+        if not isinstance(item, ast.TableRef):
+            return None
+        return item.name, item.alias, statement.where
+    if isinstance(statement, ast.Update):
+        return statement.table, statement.table, statement.where
+    if isinstance(statement, ast.Delete):
+        return statement.table, statement.table, statement.where
+    return None
+
+
+def bound_partition_keys(
+    statement: ast.Statement,
+    partition_column_of,
+    column_order_of=None,
+) -> Optional[List[Any]]:
+    """The partition key(s) this statement is provably confined to.
+
+    ``partition_column_of(table_name)`` -> partition column or None.
+    ``column_order_of(table_name)`` (optional) -> the table's declared
+    column order, letting INSERTs without an explicit column list
+    resolve the partition position from the schema.
+    Returns a non-empty list of key values when every row the statement
+    touches shares them (a WHERE equality on the partition column, or
+    INSERT rows whose partition values are literals), else ``None``.
+    """
+    if isinstance(statement, ast.Insert) and statement.query is None:
+        column = partition_column_of(statement.table)
+        if column is None:
+            return None
+        position = _insert_partition_position(statement, column)
+        if (
+            position is None
+            and statement.columns is None
+            and column_order_of is not None
+        ):
+            order = column_order_of(statement.table) or []
+            for index, name in enumerate(order):
+                if name.lower() == column.lower():
+                    position = index
+                    break
+        if position is None:
+            return None
+        keys = []
+        for row in statement.rows:
+            if position >= len(row):
+                return None
+            bound, value = _literal_value(row[position])
+            if not bound:
+                return None
+            keys.append(value)
+        return keys or None
+    target = _single_table_target(statement)
+    if target is None:
+        return None
+    table, alias, where = target
+    column = partition_column_of(table)
+    if column is None or where is None:
+        return None
+    for conjunct in split_conjuncts(where):
+        match = _column_equality(conjunct, alias)
+        if match is None and alias.lower() != table.lower():
+            match = _column_equality(conjunct, table)
+        if match is None:
+            continue
+        matched_column, other_side = match
+        if matched_column.lower() != column.lower():
+            continue
+        bound, value = _literal_value(other_side)
+        if bound:
+            return [value]
+    return None
+
+
+def _column_equality(
+    conjunct: ast.Expression, alias: str
+) -> Optional[Tuple[str, ast.Expression]]:
+    """``alias.column = expr`` — or a bare ``column = expr``, which is
+    unambiguous here because every caller has already confined the
+    statement to a single table."""
+    match = extract_column_equality(conjunct, alias)
+    if match is not None:
+        return match
+    if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+        if isinstance(conjunct.left, ast.Identifier):
+            return conjunct.left.name, conjunct.right
+        if isinstance(conjunct.right, ast.Identifier):
+            return conjunct.right.name, conjunct.left
+    return None
+
+
+def _insert_partition_position(
+    statement: ast.Insert, column: str
+) -> Optional[int]:
+    """Index of the partition column within the VALUES rows (explicit
+    column list or declaration order); None when it is not supplied —
+    the caller must fall back to full evaluation against the schema."""
+    if statement.columns is None:
+        return None  # resolved against the schema by the caller
+    for position, name in enumerate(statement.columns):
+        if name.lower() == column.lower():
+            return position
+    return None
+
+
+def check_shard_ownership(db, shard_info: Dict[str, Any], statement) -> None:
+    """The shard-side ownership guard.
+
+    A server started as shard ``index`` of ``count`` rejects any
+    single-partition statement whose bound partition key hashes to a
+    different shard — the sender's shard map is stale (or the client
+    connected to a shard directly). The rejection happens **before
+    execution**, so the wire contract matches ``NOT_PRIMARY``: rerouting
+    and retrying is safe even for writes.
+    """
+    count = int(shard_info.get("count", 1))
+    if count <= 1:
+        return
+    index = int(shard_info.get("index", 0))
+    slots = int(shard_info.get("slots", DEFAULT_SLOTS))
+
+    def partition_column_of(table_name: str) -> Optional[str]:
+        if not db.catalog.has_table(table_name):
+            return None
+        return getattr(db.catalog.table(table_name), "partition_by", None)
+
+    def column_order_of(table_name: str) -> Optional[List[str]]:
+        if not db.catalog.has_table(table_name):
+            return None
+        return db.catalog.table(table_name).schema.column_names
+
+    keys = bound_partition_keys(
+        statement, partition_column_of, column_order_of
+    )
+    if not keys:
+        return
+    for key in keys:
+        try:
+            owner = (stable_hash(key) % slots) % count
+        except PlanningError:
+            return
+        if owner != index:
+            raise ShardRedirectError(
+                f"partition key {key!r} belongs to shard {owner}, not "
+                f"shard {index} (stale shard map?)",
+                shard_hint={
+                    "shard": owner,
+                    "count": count,
+                    "version": shard_info.get("version"),
+                },
+            )

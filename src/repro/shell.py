@@ -37,6 +37,10 @@ SELECT ...;`` runs like any other statement. Meta-commands start with
 ``\\cluster status``   this node's cluster view: role, epoch, sequence,
                       lag, believed leader, and last known peer states
                       (works locally and over a remote connection)
+``\\shards [status]``  connected to a shard router: the shard map,
+                      per-shard health, and routing-tier counters;
+                      connected to a shard server: its shard identity
+                      (remote connections only)
 ``\\health``           engine health state, last durable-write error,
                       retry/breaker counters, replication role/epoch/lag
                       on a cluster node, and supervisor status
@@ -245,6 +249,8 @@ class Shell:
             self._promote(argument)
         elif name == "cluster":
             self._cluster_command(argument)
+        elif name == "shards":
+            self._shards_command(argument)
         elif name == "health":
             self._health()
         else:
@@ -517,6 +523,66 @@ class Shell:
                 f"e{peer.get('epoch')} seq={peer.get('sequence')} "
                 f"lag={peer.get('lag')}{age}"
             )
+
+    def _shards_command(self, argument: str) -> None:
+        """``\\shards [status]`` — the endpoint's SHARD_STATE: a
+        router's map + health + routing counters, or a shard server's
+        own identity."""
+        if argument.lower() not in ("", "status"):
+            self.write("usage: \\shards status")
+            return
+        if self.client is None:
+            self.write("error: \\shards needs a remote connection "
+                       "(--connect to a router or shard)")
+            return
+        try:
+            state = self.client.shard_state()
+        except DatabaseError as error:
+            self.write(self._format_error(error))
+            return
+        if not state.get("sharded"):
+            shard = state.get("shard")
+            if shard is None:
+                self.write("not sharded: a standalone server")
+            else:
+                self.write(
+                    f"shard {shard.get('index')} of {shard.get('count')} "
+                    f"({shard.get('slots')} slots, "
+                    f"map v{shard.get('version')})"
+                )
+            return
+        shard_map = state.get("map") or {}
+        self.write(
+            f"router      {shard_map.get('shard_count')} shard(s), "
+            f"{shard_map.get('slots')} slots, "
+            f"map v{shard_map.get('version')}, "
+            f"write seq {state.get('global_sequence')}"
+        )
+        for shard in state.get("shards") or []:
+            health = "healthy" if shard.get("healthy") else "UNREACHABLE"
+            self.write(
+                f"  shard {shard.get('index')}  "
+                f"{shard.get('host')}:{shard.get('port')}  {health}"
+            )
+        tables = shard_map.get("tables") or {}
+        for name, info in sorted(tables.items()):
+            placement = (
+                "broadcast" if info.get("broadcast")
+                else f"partition by {info.get('partition_by')}"
+            )
+            self.write(f"  table {name}: {placement}")
+        views = shard_map.get("graph_views") or {}
+        for name, info in sorted(views.items()):
+            placement = (
+                "broadcast" if info.get("broadcast")
+                else "coordinator-only (partitioned sources)"
+            )
+            self.write(f"  graph view {name}: {placement}")
+        routing = state.get("routing") or {}
+        self.write(
+            "routing     "
+            + "  ".join(f"{k}={v}" for k, v in sorted(routing.items()))
+        )
 
     def _promote(self, argument: str) -> None:
         """``\\promote [NAME]`` — manual failover to a replica."""

@@ -390,9 +390,23 @@ class ColumnDef(Node):
 
 
 class CreateTable(Statement):
-    def __init__(self, name: str, columns: Sequence[ColumnDef]):
+    """``CREATE TABLE name (cols...) [PARTITION BY column]``.
+
+    ``partition_by`` names the hash-partition column for a sharded
+    deployment (:mod:`repro.sharding`); ``None`` declares a broadcast
+    (replicated-everywhere) table. A single-node engine records the
+    column and otherwise ignores it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[ColumnDef],
+        partition_by: Optional[str] = None,
+    ):
         self.name = name
         self.columns = list(columns)
+        self.partition_by = partition_by
 
 
 class CreateIndex(Statement):

@@ -33,7 +33,7 @@ KEYWORDS = frozenset(
     DISTINCT AS AND OR NOT IN IS NULL LIKE BETWEEN EXISTS
     INSERT INTO VALUES UPDATE SET DELETE TRUNCATE
     CREATE TABLE INDEX UNIQUE VIEW MATERIALIZED DROP ALTER ADD
-    PRIMARY KEY FOREIGN REFERENCES DEFAULT CHECK
+    PRIMARY KEY FOREIGN REFERENCES DEFAULT CHECK PARTITION
     GRAPH VERTEXES EDGES PATHS UNDIRECTED DIRECTED HINT SHORTESTPATH
     DFS BFS
     JOIN INNER LEFT RIGHT OUTER ON CROSS

@@ -183,7 +183,11 @@ class Parser:
             if not self._accept(TokenType.PUNCTUATION, ","):
                 break
         self._expect(TokenType.PUNCTUATION, ")")
-        return ast.CreateTable(name, columns)
+        partition_by = None
+        if self._accept(TokenType.KEYWORD, "PARTITION"):
+            self._expect(TokenType.KEYWORD, "BY")
+            partition_by = self._expect_name()
+        return ast.CreateTable(name, columns, partition_by)
 
     def _parse_create_index(self) -> ast.CreateIndex:
         unique = bool(self._accept(TokenType.KEYWORD, "UNIQUE"))

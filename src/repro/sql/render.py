@@ -216,7 +216,10 @@ def render_statement(statement: ast.Statement) -> str:
             elif column.not_null:
                 text += " NOT NULL"
             columns.append(text)
-        return f"CREATE TABLE {statement.name} ({', '.join(columns)})"
+        text = f"CREATE TABLE {statement.name} ({', '.join(columns)})"
+        if statement.partition_by is not None:
+            text += f" PARTITION BY {statement.partition_by}"
+        return text
     if isinstance(statement, ast.CreateIndex):
         unique = "UNIQUE " if statement.unique else ""
         return (

@@ -106,6 +106,10 @@ class Table:
         )
         self.indexes: Dict[str, "Index"] = {}
         self._listeners: List[TableListener] = []
+        #: Declared hash-partition column (``CREATE TABLE ... PARTITION
+        #: BY col``); ``None`` for broadcast tables. Only the sharding
+        #: layer reads this — a single node stores and ignores it.
+        self.partition_by: Optional[str] = None
 
     # ------------------------------------------------------------------
     # introspection

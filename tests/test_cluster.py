@@ -17,7 +17,9 @@ import pytest
 
 from repro.client import Client
 from repro.client.client import _is_idempotent_sql, strip_leading_sql_comments
-from repro.errors import ClientConnectionError, RemoteError
+from repro.core.database import Database
+from repro.errors import ClientConnectionError, RemoteError, ShardRedirectError
+from repro.server import Server
 from repro.observability import events as observability_events
 from repro.observability import tracing as observability_tracing
 from repro.replication.digest import database_digest
@@ -185,6 +187,63 @@ class TestIdempotentClassification:
             strip_leading_sql_comments("  -- a\n/* b */ SELECT 1 -- tail")
             == "SELECT 1 -- tail"
         )
+
+
+class TestShardRedirectRetry:
+    """``SHARD_REDIRECT`` is rejected *before execution* (like
+    ``NOT_PRIMARY``), so the client must retry it transparently —
+    writes included, no idempotence check needed."""
+
+    class _RedirectOnceServer(Server):
+        """Answers the first QUERY with SHARD_REDIRECT, then behaves
+        like a plain server — the shape of a router/LB address whose
+        shard map catches up between attempts."""
+
+        def __init__(self):
+            super().__init__(Database())
+            self.redirects_left = 1
+
+        def _run_statement(self, session, request):
+            if self.redirects_left and request.get("type") == "QUERY":
+                self.redirects_left -= 1
+                raise ShardRedirectError(
+                    "partition key moved",
+                    shard_hint={"shard": 1, "count": 2, "version": 2},
+                )
+            return super()._run_statement(session, request)
+
+    def test_client_retries_writes_through_shard_redirect(self):
+        server = self._RedirectOnceServer().start()
+        try:
+            with Client(*server.address) as client:
+                client.execute("CREATE TABLE t (a INTEGER PRIMARY KEY)")
+                assert client.stats["shard_redirects"] == 1
+                # the write was applied exactly once after the retry
+                assert client.execute(
+                    "INSERT INTO t VALUES (1)"
+                ).rowcount == 1
+                assert client.execute("SELECT a FROM t").rows == [(1,)]
+        finally:
+            server.shutdown(drain=False, timeout=10)
+
+    def test_redirect_surfaces_hint_when_retries_exhausted(self):
+        server = self._RedirectOnceServer().start()
+        server.redirects_left = 10 ** 6  # never stops redirecting
+        try:
+            policy = RetryPolicy(
+                base_delay=0.01, max_delay=0.02, multiplier=2.0,
+                jitter=0.0, max_attempts=3,
+            )
+            with Client(*server.address, retry_policy=policy) as client:
+                with pytest.raises(RemoteError) as excinfo:
+                    client.execute("SELECT 1")
+                assert excinfo.value.code == "SHARD_REDIRECT"
+                assert excinfo.value.shard_hint == {
+                    "shard": 1, "count": 2, "version": 2,
+                }
+                assert client.stats["shard_redirects"] == 2
+        finally:
+            server.shutdown(drain=False, timeout=10)
 
 
 class TestPeerParsing:

@@ -331,3 +331,47 @@ class TestReplicationCommands:
         output, _ = run_lines([".help"])
         assert "\\replica status" in output
         assert "\\promote" in output
+
+
+class TestShardsCommand:
+    def test_shards_status_against_a_router(self):
+        from repro.client import Client
+        from repro.sharding import start_sharded, stop_sharded
+
+        router, shards = start_sharded(2)
+        try:
+            with Client(*router.address) as client:
+                client.execute(
+                    "CREATE TABLE KV (k INTEGER PRIMARY KEY, v INTEGER) "
+                    "PARTITION BY k"
+                )
+                client.execute("INSERT INTO KV VALUES (1, 1), (2, 2)")
+                out = io.StringIO()
+                Shell(client=client, out=out)._shards_command("status")
+                text = out.getvalue()
+                assert "2 shard(s), 64 slots" in text
+                assert "shard 0" in text and "shard 1" in text
+                assert "healthy" in text
+                assert "table kv: partition by k" in text
+                assert "single_shard_writes=1" in text
+        finally:
+            stop_sharded(router, shards)
+
+    def test_shards_against_a_plain_server_and_locally(self):
+        from repro.client import Client
+        from repro.server import Server
+
+        server = Server(Database()).start()
+        try:
+            with Client(*server.address) as client:
+                out = io.StringIO()
+                Shell(client=client, out=out)._shards_command("")
+                assert "not sharded" in out.getvalue()
+        finally:
+            server.shutdown(drain=False, timeout=10)
+        output, _ = run_lines(["\\shards status"])
+        assert "error" in output  # needs a remote connection
+
+    def test_help_mentions_shards(self):
+        output, _ = run_lines([".help"])
+        assert "\\shards" in output

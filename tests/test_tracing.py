@@ -414,3 +414,95 @@ class TestHttpEndpoint:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(http_endpoint.url("/nope"))
         assert excinfo.value.code == 404
+
+
+# ----------------------------------------------------------------------
+# router fan-out: one statement, one trace across every shard
+# ----------------------------------------------------------------------
+
+class TestRouterTraceContinuity:
+    """A routed statement must keep ONE trace_id across the client,
+    the router (statement + fanout + forward spans), the router's
+    backend clients, and the shard servers' own statement spans."""
+
+    @pytest.fixture
+    def sharded(self):
+        from repro.sharding import start_sharded, stop_sharded
+
+        router, shards = start_sharded(2)
+        yield router, shards
+        stop_sharded(router, shards)
+
+    def test_scatter_read_is_one_trace(self, sharded):
+        router, shards = sharded
+        collector = observability_tracing.get_collector()
+        with Client("127.0.0.1", router.port) as client:
+            client.execute(
+                "CREATE TABLE KV (k INTEGER PRIMARY KEY, v INTEGER) "
+                "PARTITION BY k"
+            )
+            client.execute("INSERT INTO KV VALUES (1, 1), (2, 2), (3, 3)")
+            collector.clear()
+            assert client.execute(
+                "SELECT COUNT(*) FROM KV"
+            ).rows == [(3,)]
+        root = next(
+            s for s in collector.spans() if s.name == "client.execute"
+            and s.parent_id is None
+        )
+        spans = collector.spans(trace_id=root.trace_id)
+        names = [s.name for s in spans]
+        assert "router.statement" in names
+        assert "router.fanout" in names
+        # the backend clients and the shard servers joined the trace
+        # instead of minting their own roots
+        assert names.count("server.statement") >= 2
+        backend_roots = [
+            s for s in spans
+            if s.name == "client.execute" and s.span_id != root.span_id
+        ]
+        assert len(backend_roots) == 2
+        assert all(s.parent_id is not None for s in backend_roots)
+        fanout = next(s for s in spans if s.name == "router.fanout")
+        assert fanout.attrs.get("mode") == "scatter"
+        statement = next(s for s in spans if s.name == "router.statement")
+        assert statement.node == "router"
+        # nothing leaked into other traces
+        stray = [
+            s for s in collector.spans()
+            if s.trace_id != root.trace_id
+        ]
+        assert stray == []
+
+    def test_fast_path_and_write_share_the_trace(self, sharded):
+        router, shards = sharded
+        collector = observability_tracing.get_collector()
+        with Client("127.0.0.1", router.port) as client:
+            client.execute(
+                "CREATE TABLE KV (k INTEGER PRIMARY KEY, v INTEGER) "
+                "PARTITION BY k"
+            )
+            collector.clear()
+            client.execute("INSERT INTO KV VALUES (5, 25)")
+            insert_root = next(
+                s for s in collector.spans()
+                if s.name == "client.execute" and s.parent_id is None
+            )
+            insert_spans = collector.spans(trace_id=insert_root.trace_id)
+            fanout = next(
+                s for s in insert_spans if s.name == "router.fanout"
+            )
+            assert fanout.attrs.get("mode") == "write"
+            collector.clear()
+            assert client.execute(
+                "SELECT v FROM KV WHERE k = 5"
+            ).rows == [(25,)]
+        read_root = next(
+            s for s in collector.spans()
+            if s.name == "client.execute" and s.parent_id is None
+        )
+        read_spans = collector.spans(trace_id=read_root.trace_id)
+        read_names = [s.name for s in read_spans]
+        assert "router.statement" in read_names
+        assert read_names.count("router.forward") == 1
+        assert "server.statement" in read_names

@@ -20,8 +20,12 @@ from repro.errors import (
     QueryCancelledError,
     QueryTimeoutError,
     ReadOnlyError,
+    CrossShardAbortError,
+    CrossShardPartialError,
     ReplicationError,
     ResourceExhaustedError,
+    ShardRedirectError,
+    ShardUnavailableError,
     ShuttingDownError,
     SqlSyntaxError,
     TransactionError,
@@ -141,6 +145,11 @@ class TestErrorCodes:
         (FencedError("f"), "FENCED"),
         (DivergenceError("d"), "DIVERGED"),
         (ReplicationError("r"), "REPLICATION_ERROR"),
+        (ShardRedirectError("s", shard_hint={"shard": 1}), "SHARD_REDIRECT"),
+        (ShardUnavailableError("s", shard=1), "SHARD_UNAVAILABLE"),
+        (CrossShardAbortError("a"), "CROSS_SHARD_ABORT"),
+        (CrossShardPartialError("p", failed_shards=[2]),
+         "CROSS_SHARD_PARTIAL"),
         (ExecutionError("e"), "EXECUTION_ERROR"),
         (DatabaseError("d"), "DATABASE_ERROR"),
     ]
